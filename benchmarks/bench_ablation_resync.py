@@ -1,0 +1,76 @@
+"""Ablation: periodic re-synchronization over long horizons.
+
+Section III-C2 bounds linear-model validity to ~0-20 s; tracing tools must
+re-synchronize periodically.  This bench runs a 60-second campaign on
+fast-drifting clocks and compares the end-of-run global-clock error of a
+single initial synchronization against the PeriodicResyncClock extension.
+"""
+
+from repro.analysis.accuracy import ground_truth_accuracy
+from repro.analysis.reporting import Table, format_table
+from repro.cluster.machines import JUPITER
+from repro.experiments.common import resolve_scale
+from repro.simmpi.simulation import Simulation
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync.hierarchical import h2hca
+from repro.sync.resync import PeriodicResyncClock
+
+from conftest import emit
+
+#: Drift fast enough that 60 s ruins a single linear model.
+TWITCHY = CLOCK_GETTIME.with_(skew_walk_sigma=5e-7)
+
+HORIZON = 60.0
+CHECK_EVERY = 10.0
+
+
+def run_ablation(scale):
+    sc = resolve_scale(scale)
+    machine = JUPITER.machine(sc.num_nodes, sc.ranks_per_node)
+    state: dict = {}
+
+    def main(ctx, comm):
+        resync = state.setdefault(
+            ctx.rank,
+            PeriodicResyncClock(
+                h2hca(nfitpoints=sc.nfitpoints,
+                      fitpoint_spacing=sc.fitpoint_spacing),
+                max_model_age=15.0,
+            ),
+        )
+        initial = yield from resync.ensure(comm, ctx)
+        elapsed = 0.0
+        current = initial
+        while elapsed < HORIZON:
+            yield from ctx.elapse(CHECK_EVERY)
+            elapsed += CHECK_EVERY
+            current = yield from resync.ensure(comm, ctx)
+        return initial, current, resync.resync_count, ctx.now
+
+    sim = Simulation(machine=machine, network=JUPITER.network(),
+                     time_source=TWITCHY, seed=0)
+    values = sim.run(main).values
+    t_eval = max(v[3] for v in values) + 0.1
+    initial_clocks = [v[0] for v in values]
+    final_clocks = [v[1] for v in values]
+    resyncs = values[0][2]
+    return (
+        ground_truth_accuracy(initial_clocks, t_eval),
+        ground_truth_accuracy(final_clocks, t_eval),
+        resyncs,
+    )
+
+
+def test_ablation_periodic_resync(benchmark, scale):
+    err_single, err_resync, resyncs = benchmark.pedantic(
+        run_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    table = Table(
+        title=f"Ablation: single sync vs periodic resync over {HORIZON:.0f}s",
+        columns=["strategy", "syncs", "end-of-run max error [us]"],
+    )
+    table.add_row("single initial sync", 1, f"{err_single * 1e6:.2f}")
+    table.add_row("resync every <=15s", resyncs, f"{err_resync * 1e6:.2f}")
+    emit(format_table(table))
+    assert resyncs > 1
+    assert err_resync < err_single / 2

@@ -1,0 +1,20 @@
+"""Fig. 10: Gantt charts of the AMG allreduce under four clock setups."""
+
+from repro.experiments import fig10_tracing
+
+from conftest import emit
+
+
+def test_fig10_tracing(benchmark, scale):
+    result = benchmark.pedantic(
+        fig10_tracing.run,
+        kwargs=dict(scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig10_tracing.format_result(result))
+    # Paper shape: local clock_gettime timestamps render the event
+    # invisible; global clocks make it visible under either time source.
+    assert result.visibility("clock_gettime", "local") < 1e-6
+    assert result.visibility("clock_gettime", "global") > 0.05
+    assert result.visibility("gettimeofday", "global") > 0.05

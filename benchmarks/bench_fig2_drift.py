@@ -1,0 +1,26 @@
+"""Fig. 2: clock drift over time; linearity over short windows."""
+
+from repro.experiments import fig2_drift
+
+from conftest import emit
+
+SCALES = {
+    # (num_nodes, duration seconds)
+    "quick": (4, 60.0),
+    "default": (10, 200.0),
+}
+
+
+def test_fig2_drift(benchmark, scale):
+    nodes, duration = SCALES[scale]
+    result = benchmark.pedantic(
+        fig2_drift.run,
+        kwargs=dict(num_nodes=nodes, duration=duration, interval=1.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig2_drift.format_result(result))
+    # Paper shape: drift linear over ~10 s (R^2 > 0.9) but a 10 s fit
+    # extrapolated to the full horizon misses by a large margin.
+    assert result.r2_short_window > 0.9
+    assert result.max_extrapolation_error > 5e-6

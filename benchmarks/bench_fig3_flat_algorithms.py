@@ -1,0 +1,23 @@
+"""Fig. 3: accuracy vs duration for HCA/HCA2/HCA3/JK (Jupiter)."""
+
+from repro.experiments import fig3_flat_algorithms
+
+from conftest import emit
+
+
+def test_fig3_flat_algorithms(benchmark, scale):
+    result = benchmark.pedantic(
+        fig3_flat_algorithms.run,
+        kwargs=dict(scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig3_flat_algorithms.format_result(result))
+    by = result.by_label()
+    jk = next(l for l in by if l.startswith("jk"))
+    hca3 = next(l for l in by if l.startswith("hca3"))
+    # Paper shape: JK is the slow O(p) algorithm; the HCA family is fast.
+    assert result.mean_duration(jk) > 1.3 * result.mean_duration(hca3)
+    # All algorithms produce sub-5 us clocks right after synchronizing.
+    for label in by:
+        assert result.mean_offset(label, 0.0) < 5e-6

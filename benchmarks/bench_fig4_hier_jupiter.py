@@ -1,0 +1,23 @@
+"""Fig. 4: H2HCA vs flat HCA3 on Jupiter."""
+
+from repro.experiments import fig4_hier_jupiter
+
+from conftest import emit
+
+
+def test_fig4_hier_jupiter(benchmark, scale):
+    result = benchmark.pedantic(
+        fig4_hier_jupiter.run,
+        kwargs=dict(scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig4_hier_jupiter.format_result(result))
+    by = result.by_label()
+    flat = sorted(l for l in by if not l.startswith("Top"))
+    hier = sorted(l for l in by if l.startswith("Top"))
+    # Paper shape: the hierarchical composition reduces the sync time at a
+    # matched fit-point budget without losing accuracy.
+    for f, h in zip(flat, hier):
+        assert result.mean_duration(h) < result.mean_duration(f)
+        assert result.mean_offset(h, 0.0) < 5e-6

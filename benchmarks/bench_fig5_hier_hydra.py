@@ -1,0 +1,23 @@
+"""Fig. 5: H2HCA vs flat HCA3 on Hydra (faster network, twitchier clocks)."""
+
+from repro.experiments import fig5_hier_hydra
+
+from conftest import emit
+
+
+def test_fig5_hier_hydra(benchmark, scale):
+    result = benchmark.pedantic(
+        fig5_hier_hydra.run,
+        kwargs=dict(scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig5_hier_hydra.format_result(result))
+    by = result.by_label()
+    # Paper shape: very accurate right after sync (OmniPath's low
+    # latency), visibly degraded after 10 s (fast-changing drift).
+    for label in by:
+        assert result.mean_offset(label, 0.0) < 3e-6
+        assert result.mean_offset(label, 10.0) > result.mean_offset(
+            label, 0.0
+        )

@@ -1,0 +1,24 @@
+"""Fig. 6: H2HCA vs flat HCA3 on Titan (the large machine)."""
+
+from repro.experiments import fig6_hier_titan
+from repro.experiments import fig4_hier_jupiter
+
+from conftest import emit
+
+
+def test_fig6_hier_titan(benchmark, scale):
+    result = benchmark.pedantic(
+        fig6_hier_titan.run,
+        kwargs=dict(scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig6_hier_titan.format_result(result))
+    # Paper shape: the large machine shows larger offsets than Jupiter's
+    # runs at the same waiting time (compare Fig. 4).
+    jup = fig4_hier_jupiter.run(scale=scale, seed=0)
+    t_label = sorted(result.by_label())[0]
+    j_label = sorted(jup.by_label())[0]
+    assert result.mean_offset(t_label, 10.0) > jup.mean_offset(
+        j_label, 10.0
+    )

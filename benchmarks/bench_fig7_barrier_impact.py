@@ -1,0 +1,23 @@
+"""Fig. 7: measured allreduce latency by suite x barrier algorithm."""
+
+from repro.experiments import fig7_barrier_impact
+
+from conftest import emit
+
+
+def test_fig7_barrier_impact(benchmark, scale):
+    result = benchmark.pedantic(
+        fig7_barrier_impact.run,
+        kwargs=dict(scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig7_barrier_impact.format_result(result))
+    # Paper shape: the barrier algorithm visibly changes the reported
+    # latency, and 'tree' wins most (paper: all) cells.
+    wins = sum(
+        result.best_barrier(s, m) == "tree"
+        for s in fig7_barrier_impact.SUITES
+        for m in fig7_barrier_impact.MSIZES
+    )
+    assert wins >= 5

@@ -1,0 +1,20 @@
+"""Fig. 8: barrier-exit imbalance distributions per barrier algorithm."""
+
+from repro.experiments import fig8_imbalance
+
+from conftest import emit
+
+
+def test_fig8_imbalance(benchmark, scale):
+    result = benchmark.pedantic(
+        fig8_imbalance.run,
+        kwargs=dict(scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig8_imbalance.format_result(result))
+    means = {a: result.mean(a) for a in fig8_imbalance.ALGORITHMS}
+    # Paper shape: tree is by far the best, double ring by far the worst.
+    assert min(means, key=means.get) == "tree"
+    assert max(means, key=means.get) == "double_ring"
+    assert means["double_ring"] > 2 * means["tree"]

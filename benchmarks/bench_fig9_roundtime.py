@@ -1,0 +1,25 @@
+"""Fig. 9: OSU (barrier) vs ReproMPI Round-Time across message sizes."""
+
+from repro.experiments import fig9_roundtime
+
+from conftest import emit
+
+MSIZES = {
+    "quick": (4, 16, 128, 1024),
+    "default": fig9_roundtime.MSIZES,
+}
+
+
+def test_fig9_roundtime(benchmark, scale):
+    result = benchmark.pedantic(
+        fig9_roundtime.run,
+        kwargs=dict(scale=scale, seed=0, nmpiruns=2,
+                    msizes=MSIZES[scale]),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig9_roundtime.format_result(result))
+    # Paper shape: barrier-based OSU reports inflated latencies at small
+    # message sizes; the gap closes as the payload grows.
+    assert result.inflation(4) > 1.05
+    assert result.inflation(1024) < result.inflation(4)

@@ -1,0 +1,48 @@
+"""Performance-guideline verification (the paper's refs [5, 6]).
+
+Measures both sides of the standard self-consistent guidelines
+(``Allreduce ≼ Reduce + Bcast`` etc.) with the Round-Time scheme on a
+Jupiter-like machine and reports violations — the workflow PGMPITuneLib
+automates, and the reason the paper cares about trustworthy latency
+measurement in the first place.
+"""
+
+from repro.analysis.reporting import Table, format_table
+from repro.cluster.machines import JUPITER
+from repro.experiments.common import MACHINE_TIME_SOURCES, resolve_scale
+from repro.tuning.guidelines import STANDARD_GUIDELINES, check_guidelines
+
+from conftest import emit
+
+
+def run_check(scale):
+    sc = resolve_scale(scale)
+    return check_guidelines(
+        machine=JUPITER.machine(sc.num_nodes, sc.ranks_per_node),
+        network=JUPITER.network(),
+        msizes=(8, 1024),
+        nreps=20 if sc.nmpiruns <= 3 else 50,
+        time_source=MACHINE_TIME_SOURCES["jupiter"],
+    )
+
+
+def test_performance_guidelines(benchmark, scale):
+    report = benchmark.pedantic(run_check, args=(scale,), rounds=1,
+                                iterations=1)
+    table = Table(
+        title="Self-consistent performance guidelines (Round-Time "
+              "measurements)",
+        columns=["guideline", "msize [B]", "specialized [us]",
+                 "mock [us]", "holds?"],
+    )
+    for (name, msize), (spec, mock) in sorted(report.measured.items()):
+        table.add_row(
+            name, msize, f"{spec * 1e6:.2f}", f"{mock * 1e6:.2f}",
+            "yes" if spec <= 1.05 * mock else "VIOLATED",
+        )
+    emit(format_table(table))
+    assert len(report.measured) == len(STANDARD_GUIDELINES) * 2
+    # A sensibly tuned library holds the guidelines at small payloads.
+    assert not [
+        v for v in report.violations(tolerance=0.25) if v[1] == 8
+    ]

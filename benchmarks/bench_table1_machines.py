@@ -1,0 +1,15 @@
+"""Table I: machine presets and network-calibration sanity check."""
+
+from repro.experiments import table1_machines
+
+from conftest import emit
+
+
+def test_table1_machines(benchmark, scale):
+    rows = benchmark.pedantic(
+        table1_machines.run, rounds=1, iterations=1
+    )
+    emit(table1_machines.format_result(rows))
+    jup = next(r for r in rows if r.name == "jupiter")
+    # Paper: Jupiter's IB QDR ping-pong is 3-4 us.
+    assert 2.0 < jup.measured_pingpong_us < 7.0

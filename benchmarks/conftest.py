@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table/figure of the paper: it runs
+the corresponding experiment under ``pytest-benchmark`` (timing the full
+reproduction pipeline) and prints the reproduced rows/series.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``REPRO_BENCH_SCALE=default`` switches from the CI-friendly quick scale to
+the fuller reproduction scale recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture
+def scale():
+    return bench_scale()
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table under the benchmark's own banner."""
+    print()
+    print(text)

@@ -1,0 +1,89 @@
+"""Algorithm crossover sweep: which collective variant wins at which size?
+
+The paper's tuning context (PGMPITuneLib) selects among semantically
+equivalent implementations per message size.  This example sweeps
+MPI_Bcast and MPI_Allreduce variants across payloads on a Jupiter-like
+machine, measured with the Round-Time scheme, and prints the winner per
+size — showing the classic latency/bandwidth crossover (binomial and
+recursive-doubling win small payloads; segmented/Rabenseifner win large
+ones).
+
+Run:  python examples/algorithm_crossover.py
+"""
+
+from repro.analysis.reporting import Table, format_table
+from repro.bench.schemes import RoundTimeScheme
+from repro.cluster import jupiter
+from repro.simmpi import Simulation
+from repro.sync.hierarchical import h2hca
+
+BCASTS = ("binomial", "scatter_allgather")
+ALLREDUCES = ("recursive_doubling", "rabenseifner", "ring")
+MSIZES = (8, 1024, 64 << 10, 1 << 20)
+
+
+def measure(op_factory, algorithms, msizes):
+    spec = jupiter()
+    sim = Simulation(
+        machine=spec.machine(num_nodes=8, ranks_per_node=4),
+        network=spec.network(),
+        seed=5,
+    )
+
+    def main(ctx, comm):
+        sync = h2hca(nfitpoints=20, fitpoint_spacing=1e-3)
+        g_clk = yield from sync.sync_clocks(comm, ctx.hardware_clock)
+        cells = {}
+        for msize in msizes:
+            for algorithm in algorithms:
+                op = op_factory(algorithm, msize)
+                scheme = RoundTimeScheme(lambda c: g_clk,
+                                         max_time_slice=0.05,
+                                         max_nrep=20)
+                local = yield from scheme.run(comm, op)
+                worst = yield from comm.allreduce(
+                    local.median(), op=max, size=8
+                )
+                if comm.rank == 0:
+                    cells[(msize, algorithm)] = worst
+        return cells if comm.rank == 0 else None
+
+    return sim.run(main).values[0]
+
+
+def report(title, cells, algorithms, msizes):
+    table = Table(
+        title=title,
+        columns=["msize [B]"] + [f"{a} [us]" for a in algorithms]
+        + ["winner"],
+    )
+    for msize in msizes:
+        row = [cells[(msize, a)] for a in algorithms]
+        winner = algorithms[row.index(min(row))]
+        table.add_row(
+            msize, *(f"{v * 1e6:.1f}" for v in row), winner
+        )
+    print(format_table(table))
+    print()
+
+
+if __name__ == "__main__":
+    def bcast_op(algorithm, msize):
+        def op(comm):
+            yield from comm.bcast(1, algorithm=algorithm, size=msize)
+
+        return op
+
+    def allreduce_op(algorithm, msize):
+        def op(comm):
+            yield from comm.allreduce(1.0, algorithm=algorithm,
+                                      size=msize)
+
+        return op
+
+    cells = measure(bcast_op, BCASTS, MSIZES)
+    report("MPI_Bcast variants (32 processes, Jupiter-like)", cells,
+           BCASTS, MSIZES)
+    cells = measure(allreduce_op, ALLREDUCES, MSIZES)
+    report("MPI_Allreduce variants (32 processes, Jupiter-like)", cells,
+           ALLREDUCES, MSIZES)

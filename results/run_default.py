@@ -1,0 +1,40 @@
+"""Run every experiment at the default reproduction scale; save outputs."""
+import time, traceback
+from repro.experiments import (
+    table1_machines, fig2_drift, fig3_flat_algorithms, fig4_hier_jupiter,
+    fig5_hier_hydra, fig6_hier_titan, fig7_barrier_impact, fig8_imbalance,
+    fig9_roundtime, fig10_tracing,
+)
+
+JOBS = [
+    ("table1", lambda: table1_machines.format_result(table1_machines.run())),
+    ("fig2", lambda: fig2_drift.format_result(
+        fig2_drift.run(num_nodes=10, duration=200.0, interval=1.0))),
+    ("fig3", lambda: fig3_flat_algorithms.format_result(
+        fig3_flat_algorithms.run("default"))),
+    ("fig4", lambda: fig4_hier_jupiter.format_result(
+        fig4_hier_jupiter.run("default"))),
+    ("fig5", lambda: fig5_hier_hydra.format_result(
+        fig5_hier_hydra.run("default"))),
+    ("fig6", lambda: fig6_hier_titan.format_result(
+        fig6_hier_titan.run("default"))),
+    ("fig7", lambda: fig7_barrier_impact.format_result(
+        fig7_barrier_impact.run("default"))),
+    ("fig8", lambda: fig8_imbalance.format_result(
+        fig8_imbalance.run("default"))),
+    ("fig9", lambda: fig9_roundtime.format_result(
+        fig9_roundtime.run("default"))),
+    ("fig10", lambda: fig10_tracing.format_result(
+        fig10_tracing.run("default"))),
+]
+
+for name, job in JOBS:
+    t = time.time()
+    try:
+        out = job()
+    except Exception:
+        out = traceback.format_exc()
+    wall = time.time() - t
+    with open(f"/root/repo/results/{name}.txt", "w") as fh:
+        fh.write(out + f"\n[wall: {wall:.1f}s]\n")
+    print(f"{name}: done in {wall:.1f}s", flush=True)

@@ -1,0 +1,14 @@
+import time, traceback
+from repro.experiments import fig6_hier_titan, fig9_roundtime
+for name, job in [
+    ("fig6", lambda: fig6_hier_titan.format_result(fig6_hier_titan.run("default"))),
+    ("fig9", lambda: fig9_roundtime.format_result(fig9_roundtime.run("default"))),
+]:
+    t = time.time()
+    try:
+        out = job()
+    except Exception:
+        out = traceback.format_exc()
+    with open(f"/root/repo/results/{name}.txt", "w") as fh:
+        fh.write(out + f"\n[wall: {time.time()-t:.1f}s]\n")
+    print(name, "done", flush=True)

@@ -1,0 +1,4 @@
+"""Shim for environments without the `wheel` package (see pyproject.toml)."""
+from setuptools import setup
+
+setup()

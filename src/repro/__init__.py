@@ -1,0 +1,31 @@
+"""repro — reproduction of "Hierarchical Clock Synchronization in MPI".
+
+Hunold & Carpen-Amarie, IEEE CLUSTER 2018.
+
+Layers (bottom-up):
+
+* :mod:`repro.simtime` — simulated hardware clocks (offset/skew/drift).
+* :mod:`repro.simmpi` — deterministic discrete-event MPI substrate.
+* :mod:`repro.cluster` — machine presets of the paper's Table I.
+* :mod:`repro.sync` — the paper's contribution: HCA3, HlHCA, and the
+  baseline algorithms (JK, HCA, HCA2, ClockPropSync).
+* :mod:`repro.bench` — measurement schemes (barrier / window / Round-Time)
+  and benchmark-suite emulations (OSU-, IMB-, ReproMPI-style).
+* :mod:`repro.analysis` — accuracy checks, imbalance, drift statistics.
+* :mod:`repro.trace` — global-clock tracing case study (AMG mini-app).
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro._version import __version__
+from repro.simmpi.simulation import Simulation, SimulationResult
+from repro.cluster.machines import MACHINES, hydra, jupiter, titan
+
+__all__ = [
+    "__version__",
+    "Simulation",
+    "SimulationResult",
+    "MACHINES",
+    "jupiter",
+    "hydra",
+    "titan",
+]

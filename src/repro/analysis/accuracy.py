@@ -1,0 +1,106 @@
+"""CHECK_CLOCK_ACCURACY (paper Algorithm 6) and a ground-truth oracle.
+
+After a synchronization algorithm completes, the reference process measures
+the clock offset between its global clock and every client's global clock —
+immediately, and again after each configured waiting period.  The maximum
+absolute offset across clients is the accuracy number plotted on the y-axes
+of Figs. 3–6.
+
+Fig. 6 (16k processes) samples 10 % of the clients to keep the check
+affordable; ``sample_fraction`` reproduces that.
+
+:func:`ground_truth_accuracy` is the simulation-level oracle: it evaluates
+the returned clock objects at a common true time, with no measurement
+noise.  Experiments report the *measured* value (faithful to the paper);
+tests use the oracle to validate the measurement machinery itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Sequence
+
+from repro.simtime.base import Clock
+from repro.sync.offset import OffsetAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+#: Go-signal tag for sequencing the per-client measurements.
+CHECK_GO_TAG = 11
+
+
+def _sample_clients(
+    size: int, sample_fraction: float, seed: int
+) -> list[int]:
+    """Deterministic client sample (identical on every rank)."""
+    clients = list(range(1, size))
+    if sample_fraction >= 1.0:
+        return clients
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    k = max(1, int(round(sample_fraction * len(clients))))
+    picked = rng.choice(len(clients), size=k, replace=False)
+    return sorted(clients[i] for i in picked)
+
+
+def check_clock_accuracy(
+    comm: "Communicator",
+    global_clock: Clock,
+    offset_alg: OffsetAlgorithm,
+    wait_times: Sequence[float] = (0.0, 10.0),
+    sample_fraction: float = 1.0,
+    sample_seed: int = 0,
+) -> Generator:
+    """Measure each client's global-clock offset at several wait times.
+
+    Collective.  Rank 0 returns ``{wait_time: {client: offset_seconds}}``;
+    clients return ``None``.  Offsets are measured with ``offset_alg``
+    between the *global* clocks, exactly as Algorithm 6 does, so the
+    numbers include the same measurement noise the paper's do.
+    """
+    rank = comm.rank
+    clients = _sample_clients(comm.size, sample_fraction, sample_seed)
+    if rank == 0:
+        results: dict[float, dict[int, float]] = {}
+        anchor = comm.ctx.read_clock(global_clock)
+        for wait in wait_times:
+            yield from comm.ctx.wait_until_clock(global_clock, anchor + wait)
+            per_client: dict[int, float] = {}
+            for client in clients:
+                yield from comm.send(client, CHECK_GO_TAG, None, 1)
+                yield from offset_alg.measure_offset(
+                    comm, global_clock, 0, client
+                )
+                # The client measured; it reports the value back.
+                msg = yield from comm.recv(client, CHECK_GO_TAG)
+                per_client[client] = msg.payload
+            results[wait] = per_client
+        return results
+    if rank in clients:
+        for _ in wait_times:
+            yield from comm.recv(0, CHECK_GO_TAG)
+            measurement = yield from offset_alg.measure_offset(
+                comm, global_clock, 0, rank
+            )
+            yield from comm.send(
+                0, CHECK_GO_TAG, measurement.offset, 8
+            )
+    return None
+
+
+def max_abs_offset(per_client: dict[int, float]) -> float:
+    """The paper's y-axis: max |offset| over the checked clients."""
+    return max(abs(v) for v in per_client.values())
+
+
+def ground_truth_accuracy(
+    clocks: Sequence[Clock], true_time: float, ref_rank: int = 0
+) -> float:
+    """Oracle: max |clock_i(t) - clock_ref(t)| over all ranks at true ``t``."""
+    ref = clocks[ref_rank].read(true_time)
+    return max(
+        abs(c.read(true_time) - ref)
+        for i, c in enumerate(clocks)
+        if i != ref_rank
+    )

@@ -1,0 +1,151 @@
+"""Clock-drift observation and linearity analysis (paper Fig. 2).
+
+:func:`record_drift` replays the paper's Section III-C2 experiment: every
+client repeatedly measures its offset to the reference process over a long
+period (500 s in the paper), yielding one offset trace per rank.
+:func:`drift_linearity` then fits linear models over sliding windows and
+reports R² — the paper's criterion for "how long is drift linear?"
+(R² > 0.9 holds over ~10 s windows; it degrades over minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Sequence
+
+import numpy as np
+
+from repro.errors import SyncError
+from repro.simtime.base import Clock
+from repro.sync.linear_model import LinearDriftModel
+from repro.sync.offset import OffsetAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+DRIFT_GO_TAG = 12
+
+
+@dataclass
+class DriftTrace:
+    """Offset observations of one client against the reference clock."""
+
+    rank: int
+    timestamps: np.ndarray  # client-local clock readings (s)
+    offsets: np.ndarray  # client - ref offsets (s)
+
+
+def record_drift(
+    comm: "Communicator",
+    clock: Clock,
+    duration: float,
+    interval: float,
+    offset_alg: OffsetAlgorithm,
+) -> Generator:
+    """Sample every client's offset to rank 0 every ``interval`` seconds.
+
+    Collective.  Rank 0 returns ``{client: DriftTrace}``; clients return
+    ``None``.  Within one sampling round, rank 0 serves clients in rank
+    order (go-signals keep each client's ping-pongs compact).
+    """
+    if duration <= 0 or interval <= 0:
+        raise SyncError("duration and interval must be > 0")
+    rank = comm.rank
+    ctx = comm.ctx
+    npoints = int(duration / interval)
+    if rank == 0:
+        traces: dict[int, list[tuple[float, float]]] = {
+            c: [] for c in range(1, comm.size)
+        }
+        t_anchor = ctx.read_clock(clock)
+        for point in range(npoints):
+            yield from ctx.wait_until_clock(
+                clock, t_anchor + point * interval
+            )
+            for client in range(1, comm.size):
+                yield from comm.send(client, DRIFT_GO_TAG, None, 1)
+                yield from offset_alg.measure_offset(comm, clock, 0, client)
+                msg = yield from comm.recv(client, DRIFT_GO_TAG)
+                traces[client].append(msg.payload)
+        return {
+            c: DriftTrace(
+                rank=c,
+                timestamps=np.array([t for t, _ in obs]),
+                offsets=np.array([o for _, o in obs]),
+            )
+            for c, obs in traces.items()
+        }
+    for _ in range(npoints):
+        yield from comm.recv(0, DRIFT_GO_TAG)
+        measurement = yield from offset_alg.measure_offset(
+            comm, clock, 0, rank
+        )
+        yield from comm.send(
+            0,
+            DRIFT_GO_TAG,
+            (measurement.timestamp, measurement.offset),
+            16,
+        )
+    return None
+
+
+def drift_linearity(
+    trace: DriftTrace, window: float
+) -> list[tuple[float, float]]:
+    """R² of a linear fit over consecutive windows of the trace.
+
+    Returns ``[(window_start_timestamp, r_squared), ...]`` — the Fig. 2c
+    analysis.  Windows with fewer than three points are skipped.
+    """
+    out: list[tuple[float, float]] = []
+    t = trace.timestamps
+    start = float(t[0])
+    end = float(t[-1])
+    while start < end:
+        mask = (t >= start) & (t < start + window)
+        if int(mask.sum()) >= 3:
+            r2 = LinearDriftModel.r_squared(t[mask], trace.offsets[mask])
+            out.append((start, r2))
+        start += window
+    return out
+
+
+def detrended_range(trace: DriftTrace) -> float:
+    """Residual range after removing the best global linear fit.
+
+    A perfectly linear drift gives ~0; the paper's 500 s traces show tens
+    of microseconds of curvature.
+    """
+    model = LinearDriftModel.fit(trace.timestamps, trace.offsets)
+    resid = trace.offsets - (
+        model.slope * trace.timestamps + model.intercept
+    )
+    return float(resid.max() - resid.min())
+
+
+def extrapolation_error(trace: DriftTrace, fit_window: float) -> float:
+    """|prediction error| at the end of the trace for an early-window fit.
+
+    Fit a linear model over the first ``fit_window`` seconds (the paper's
+    "drift is linear over 0–20 s" regime) and evaluate it at the last
+    observation — the error a tracing tool makes when it interpolates
+    timestamps assuming linear drift over the whole run (Fig. 2b: the
+    fitted lines visibly leave the data over 500 s).
+    """
+    t = trace.timestamps
+    mask = t <= t[0] + fit_window
+    if int(mask.sum()) < 2:
+        raise SyncError("fit_window selects fewer than two points")
+    model = LinearDriftModel.fit(t[mask], trace.offsets[mask])
+    predicted = model.slope * t[-1] + model.intercept
+    return float(abs(trace.offsets[-1] - predicted))
+
+
+def mean_r_squared(
+    traces: Sequence[DriftTrace], window: float
+) -> float:
+    """Average windowed R² over a set of traces."""
+    values = []
+    for tr in traces:
+        values.extend(r2 for _, r2 in drift_linearity(tr, window))
+    return float(np.mean(values)) if values else float("nan")

@@ -1,0 +1,79 @@
+"""Result containers and plain-text table/series formatting.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep the format consistent across the
+``benchmarks/`` targets and the ``examples/`` scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One named line of a figure: x values and y values with units."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def summary(self) -> str:
+        ys = np.asarray(self.y, dtype=float)
+        finite = ys[np.isfinite(ys)]
+        if finite.size == 0:
+            return f"{self.name}: (no data)"
+        return (
+            f"{self.name}: n={finite.size} mean={finite.mean():.4g} "
+            f"min={finite.min():.4g} max={finite.max():.4g}"
+        )
+
+
+@dataclass
+class Table:
+    """A figure/table reproduction: header + rows of formatted cells."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+
+def format_table(table: Table) -> str:
+    """Render a Table as aligned plain text."""
+    widths = [len(c) for c in table.columns]
+    for row in table.rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [table.title]
+    header = "  ".join(c.ljust(w) for c, w in zip(table.columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table.rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def us(seconds: float) -> float:
+    """Seconds → microseconds (the paper's unit for everything small)."""
+    return seconds * 1e6
+
+
+def fmt_us(seconds: float, digits: int = 2) -> str:
+    """Format a duration in microseconds."""
+    return f"{seconds * 1e6:.{digits}f}"

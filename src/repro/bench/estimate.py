@@ -1,0 +1,45 @@
+"""Rough latency pre-estimation (ESTIMATE_LATENCY in Algorithm 5).
+
+The Round-Time scheme needs a ballpark figure for ``MPI_Bcast`` (to pick
+the slack between announcing a start time and the start itself) and the
+window scheme needs an estimate of the measured operation (to pick the
+window size).  This estimator runs a few barrier-synchronized repetitions
+and returns the maximum mean across ranks — deliberately the crude approach
+real benchmark suites use, since its bias is part of what the paper's
+Round-Time scheme is designed to tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+#: An operation to measure: generator function taking the communicator.
+Operation = Callable[["Communicator"], Generator]
+
+
+def estimate_latency(
+    comm: "Communicator",
+    operation: Operation,
+    nreps: int = 10,
+    barrier_algorithm: str = "tree",
+) -> Generator:
+    """Estimate the operation's latency; every rank returns the estimate.
+
+    Uses local (hardware) clocks: runs ``nreps`` barrier-synchronized
+    repetitions, averages the per-rank durations, and allreduces the max.
+    """
+    ctx = comm.ctx
+    samples = np.empty(nreps)
+    for i in range(nreps):
+        yield from comm.barrier(algorithm=barrier_algorithm)
+        t0 = ctx.wtime()
+        yield from operation(comm)
+        samples[i] = ctx.wtime() - t0
+    local_mean = float(samples.mean())
+    estimate = yield from comm.allreduce(local_mean, op=max, size=8)
+    return estimate

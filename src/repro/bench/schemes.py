@@ -1,0 +1,232 @@
+"""Process-synchronization schemes for latency measurement.
+
+The paper compares three ways of lining processes up before each timed
+repetition of a collective:
+
+* :class:`BarrierScheme` — what OSU Micro-Benchmarks and Intel MPI
+  Benchmarks do: an ``MPI_Barrier`` before each repetition, durations
+  taken on local clocks.  Barrier-exit imbalance leaks into the measured
+  latency (Figs. 7–8).
+* :class:`WindowScheme` — SKaMPI/NBCBench style: a global clock plus a
+  pre-agreed window size; every repetition starts at the next window
+  boundary.  One slow repetition ("outlier") makes processes miss the
+  start of several subsequent windows, invalidating them — the cascade
+  failure the paper describes in Section II.
+* :class:`RoundTimeScheme` — the paper's contribution (Algorithm 5): the
+  root announces each start time dynamically (current global time plus a
+  slack of ``B ×`` the estimated ``MPI_Bcast`` latency), so one outlier
+  invalidates at most one measurement, and a fixed time slice bounds the
+  total experiment duration regardless of the operation's speed.
+
+Every scheme returns a :class:`SchemeResult` holding, per valid
+repetition, the *collective duration* as seen by that scheme: per-rank
+local durations for the barrier scheme, global-clock durations (common
+start to last exit known per rank) for window/Round-Time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.bench.estimate import Operation, estimate_latency
+from repro.simtime.base import Clock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+
+@dataclass
+class SchemeResult:
+    """Per-rank outcome of one measurement run.
+
+    ``durations`` holds one duration per *valid* repetition (seconds).
+    ``invalid`` counts repetitions this scheme had to discard.
+    """
+
+    scheme: str
+    durations: list[float] = field(default_factory=list)
+    invalid: int = 0
+
+    @property
+    def nvalid(self) -> int:
+        return len(self.durations)
+
+    def mean(self) -> float:
+        return float(np.mean(self.durations)) if self.durations else float("nan")
+
+    def median(self) -> float:
+        return (
+            float(np.median(self.durations)) if self.durations else float("nan")
+        )
+
+
+class BarrierScheme:
+    """Barrier before every repetition; local-clock durations."""
+
+    name = "barrier"
+
+    def __init__(self, barrier_algorithm: str = "tree", nreps: int = 100):
+        if nreps < 1:
+            raise ConfigurationError("nreps must be >= 1")
+        self.barrier_algorithm = barrier_algorithm
+        self.nreps = nreps
+
+    def run(
+        self, comm: "Communicator", operation: Operation
+    ) -> Generator:
+        ctx = comm.ctx
+        result = SchemeResult(scheme=self.name)
+        for _ in range(self.nreps):
+            yield from comm.barrier(algorithm=self.barrier_algorithm)
+            t0 = ctx.wtime()
+            yield from operation(comm)
+            result.durations.append(ctx.wtime() - t0)
+        return result
+
+
+class WindowScheme:
+    """Fixed windows on a global clock; missed windows are invalid."""
+
+    name = "window"
+
+    def __init__(
+        self,
+        global_clock_provider,
+        window: float | None = None,
+        nreps: int = 100,
+        window_factor: float = 4.0,
+    ):
+        """``global_clock_provider``: rank → Clock (set up by the runner).
+
+        ``window=None`` derives the window as ``window_factor ×`` an
+        initial latency estimate — the guess real suites make, and exactly
+        the under/over-estimation problem Round-Time removes.
+        """
+        if nreps < 1:
+            raise ConfigurationError("nreps must be >= 1")
+        self.global_clock_provider = global_clock_provider
+        self.window = window
+        self.nreps = nreps
+        self.window_factor = window_factor
+
+    def run(
+        self, comm: "Communicator", operation: Operation
+    ) -> Generator:
+        ctx = comm.ctx
+        g_clk: Clock = self.global_clock_provider(comm)
+        window = self.window
+        if window is None:
+            estimate = yield from estimate_latency(comm, operation)
+            window = self.window_factor * estimate
+        # Root announces the start of window 0; all else is implicit.
+        if comm.rank == 0:
+            start0 = ctx.read_clock(g_clk) + 10 * window
+            start0 = yield from comm.bcast(start0, root=0, size=8)
+        else:
+            start0 = yield from comm.bcast(None, root=0, size=8)
+        result = SchemeResult(scheme=self.name)
+        for i in range(self.nreps):
+            win_start = start0 + i * window
+            late = ctx.read_clock(g_clk) >= win_start
+            # The operation is collective, so it runs regardless; a missed
+            # window start only invalidates the *measurement*.  One long
+            # outlier therefore cascades: the process is still busy when
+            # the next windows open and keeps invalidating them.
+            yield from ctx.wait_until_clock(g_clk, win_start)
+            yield from operation(comm)
+            if late:
+                result.invalid += 1
+                continue
+            t_end = ctx.read_clock(g_clk)
+            result.durations.append(t_end - win_start)
+        return result
+
+
+class RoundTimeScheme:
+    """Algorithm 5: dynamically announced start times + fixed time slice."""
+
+    name = "round_time"
+
+    def __init__(
+        self,
+        global_clock_provider,
+        max_time_slice: float = 5.0,
+        max_nrep: int = 300,
+        slack_factor: float = 3.0,
+    ):
+        """``slack_factor`` is the paper's ``B`` (≥ 1) applied to the
+        estimated ``MPI_Bcast`` latency when picking the next start time."""
+        if slack_factor < 1.0:
+            raise ConfigurationError("slack_factor (B) must be >= 1")
+        if max_nrep < 1:
+            raise ConfigurationError("max_nrep must be >= 1")
+        self.global_clock_provider = global_clock_provider
+        self.max_time_slice = max_time_slice
+        self.max_nrep = max_nrep
+        self.slack_factor = slack_factor
+
+    def _estimate_bcast_delivery(
+        self, comm: "Communicator", g_clk: Clock, nreps: int = 10
+    ) -> Generator:
+        """End-to-end ``MPI_Bcast`` delivery time via the global clock.
+
+        The root stamps its global time into the payload; every receiver
+        computes (its own global reading − stamp); an allreduce takes the
+        max across ranks and the max over repetitions.  Unlike a local
+        start/stop measurement, this includes the tree propagation depth —
+        which is exactly the slack the next-start announcement needs.
+        """
+        ctx = comm.ctx
+        worst = 0.0
+        for _ in range(nreps):
+            stamp = (
+                ctx.read_clock(g_clk) if comm.rank == 0 else None
+            )
+            stamp = yield from comm.bcast(stamp, root=0, size=8)
+            delay = ctx.read_clock(g_clk) - stamp
+            delay = yield from comm.allreduce(delay, op=max, size=8)
+            worst = max(worst, delay)
+        return worst
+
+    def run(
+        self, comm: "Communicator", operation: Operation
+    ) -> Generator:
+        ctx = comm.ctx
+        g_clk: Clock = self.global_clock_provider(comm)
+        # lat(MPI_Bcast): the scheme's control message, measured end-to-end.
+        lat_bcast = yield from self._estimate_bcast_delivery(comm, g_clk)
+        result = SchemeResult(scheme=self.name)
+        t_start = ctx.read_clock(g_clk)
+        nrep = 0
+        while True:
+            if comm.rank == 0:
+                start_time = (
+                    ctx.read_clock(g_clk) + self.slack_factor * lat_bcast
+                )
+                start_time = yield from comm.bcast(start_time, root=0, size=8)
+            else:
+                start_time = yield from comm.bcast(None, root=0, size=8)
+            invalid = 1 if ctx.read_clock(g_clk) >= start_time else 0
+            yield from ctx.wait_until_clock(g_clk, start_time)
+            yield from operation(comm)
+            t_end = ctx.read_clock(g_clk)
+            out_of_time = (
+                1 if (t_end - t_start) >= self.max_time_slice else 0
+            )
+            flags = yield from comm.allreduce(
+                (invalid, out_of_time),
+                op=lambda a, b: (a[0] | b[0], a[1] | b[1]),
+                size=8,
+            )
+            if flags[0] == 0:
+                result.durations.append(t_end - start_time)
+                nrep += 1
+            else:
+                result.invalid += 1
+            if flags[1] or nrep == self.max_nrep:
+                break
+        return result

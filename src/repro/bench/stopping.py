@@ -1,0 +1,94 @@
+"""Adaptive repetition counts — the problem Round-Time dissolves.
+
+The paper (Section V-A): "the question of how to choose this number of
+repetitions remains".  Benchmark suites either hard-code the count or use
+a convergence heuristic: keep measuring until the sample statistic is
+stable.  :class:`AdaptiveBarrierScheme` implements the classic variant —
+stop when the coefficient of variation (COV) of the recent window of
+medians falls below a threshold — so the Round-Time scheme has a real
+competitor to be compared against (see
+``benchmarks/bench_ablation_stopping.py``).
+
+The stopping decision must be collective: every rank computes its local
+COV and an allreduce takes the *max* (everyone keeps going until everyone
+is stable), exactly like ReproMPI's ``--runtime-check`` heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.bench.estimate import Operation
+from repro.bench.schemes import SchemeResult
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+
+def coefficient_of_variation(samples: np.ndarray) -> float:
+    """std / mean of a sample window (0 for a constant window)."""
+    mean = float(np.mean(samples))
+    if mean == 0.0:
+        return 0.0
+    return float(np.std(samples) / mean)
+
+
+class AdaptiveBarrierScheme:
+    """Barrier-based measurement with a COV stopping rule.
+
+    Repetitions run in blocks of ``window``; after each block every rank
+    computes the COV of its last ``window`` durations and the ranks
+    allreduce the maximum.  Measurement stops when that maximum drops
+    below ``threshold`` (and at least ``min_nreps`` repetitions were
+    taken), or at ``max_nreps``.
+    """
+
+    name = "adaptive_barrier"
+
+    def __init__(
+        self,
+        threshold: float = 0.05,
+        window: int = 10,
+        min_nreps: int = 20,
+        max_nreps: int = 1000,
+        barrier_algorithm: str = "tree",
+    ) -> None:
+        if threshold <= 0.0:
+            raise ConfigurationError("threshold must be > 0")
+        if window < 2:
+            raise ConfigurationError("window must be >= 2")
+        if not 0 < min_nreps <= max_nreps:
+            raise ConfigurationError(
+                "need 0 < min_nreps <= max_nreps"
+            )
+        self.threshold = threshold
+        self.window = window
+        self.min_nreps = min_nreps
+        self.max_nreps = max_nreps
+        self.barrier_algorithm = barrier_algorithm
+
+    def run(
+        self, comm: "Communicator", operation: Operation
+    ) -> Generator:
+        ctx = comm.ctx
+        result = SchemeResult(scheme=self.name)
+        while True:
+            for _ in range(self.window):
+                yield from comm.barrier(algorithm=self.barrier_algorithm)
+                t0 = ctx.wtime()
+                yield from operation(comm)
+                result.durations.append(ctx.wtime() - t0)
+            n = len(result.durations)
+            recent = np.asarray(result.durations[-self.window:])
+            local_cov = coefficient_of_variation(recent)
+            worst_cov = yield from comm.allreduce(
+                local_cov, op=max, size=8
+            )
+            if n >= self.max_nreps:
+                break
+            if n >= self.min_nreps and worst_cov < self.threshold:
+                break
+        return result

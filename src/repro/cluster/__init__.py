@@ -1,0 +1,39 @@
+"""Cluster models: topology (nodes/sockets/cores) and network presets.
+
+The three machines of the paper's Table I are available as scalable presets
+(:func:`~repro.cluster.machines.jupiter`,
+:func:`~repro.cluster.machines.hydra`,
+:func:`~repro.cluster.machines.titan`).
+"""
+
+from repro.cluster.topology import Machine, Placement
+from repro.cluster.fabric import FlatFabric, TorusFabric
+from repro.cluster.netmodels import (
+    infiniband_qdr,
+    omnipath,
+    cray_gemini,
+    ideal_network,
+)
+from repro.cluster.machines import (
+    MachineSpec,
+    jupiter,
+    hydra,
+    titan,
+    MACHINES,
+)
+
+__all__ = [
+    "Machine",
+    "Placement",
+    "FlatFabric",
+    "TorusFabric",
+    "infiniband_qdr",
+    "omnipath",
+    "cray_gemini",
+    "ideal_network",
+    "MachineSpec",
+    "jupiter",
+    "hydra",
+    "titan",
+    "MACHINES",
+]

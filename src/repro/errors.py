@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Subclasses distinguish the three layers of
+the system: simulated time, the MPI substrate, and the clock-synchronization
+layer built on top of them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ClockError(ReproError):
+    """Invalid operation on a simulated clock (e.g. non-invertible model)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All processes are blocked and no events remain."""
+
+
+class CommunicatorError(SimulationError):
+    """Invalid communicator operation (bad rank, mismatched collective...)."""
+
+
+class MatchingError(SimulationError):
+    """Point-to-point matching violated (e.g. truncation, bad wildcard)."""
+
+
+class SyncError(ReproError):
+    """A clock-synchronization algorithm was misused or failed."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration value or unparsable algorithm label."""

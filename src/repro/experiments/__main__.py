@@ -1,0 +1,92 @@
+"""Command-line runner: ``python -m repro.experiments <target> [options]``.
+
+Targets are the paper's tables/figures (``table1``, ``fig2`` … ``fig10``)
+or ``all``.  Example::
+
+    python -m repro.experiments fig8 --scale quick --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig2_drift,
+    fig3_flat_algorithms,
+    fig4_hier_jupiter,
+    fig5_hier_hydra,
+    fig6_hier_titan,
+    fig7_barrier_impact,
+    fig8_imbalance,
+    fig9_roundtime,
+    fig10_tracing,
+    table1_machines,
+)
+
+
+def _run_table1(scale: str, seed: int) -> str:
+    return table1_machines.format_result(table1_machines.run(seed=seed))
+
+
+def _run_fig2(scale: str, seed: int) -> str:
+    duration = 60.0 if scale == "quick" else 200.0
+    nodes = 4 if scale == "quick" else 10
+    return fig2_drift.format_result(
+        fig2_drift.run(num_nodes=nodes, duration=duration, interval=1.0,
+                       seed=seed)
+    )
+
+
+def _simple(module):
+    def runner(scale: str, seed: int) -> str:
+        return module.format_result(module.run(scale=scale, seed=seed))
+
+    return runner
+
+
+TARGETS = {
+    "table1": _run_table1,
+    "fig2": _run_fig2,
+    "fig3": _simple(fig3_flat_algorithms),
+    "fig4": _simple(fig4_hier_jupiter),
+    "fig5": _simple(fig5_hier_hydra),
+    "fig6": _simple(fig6_hier_titan),
+    "fig7": _simple(fig7_barrier_impact),
+    "fig8": _simple(fig8_imbalance),
+    "fig9": _simple(fig9_roundtime),
+    "fig10": _simple(fig10_tracing),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table/figure of the paper.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(TARGETS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument("--scale", default="quick",
+                        choices=["quick", "default"],
+                        help="experiment size (see EXPERIMENTS.md)")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    targets = sorted(TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        t0 = time.time()
+        output = TARGETS[name](args.scale, args.seed)
+        print(output)
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

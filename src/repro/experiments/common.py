@@ -1,0 +1,216 @@
+"""Shared experiment machinery: scales, sync-accuracy campaign runner.
+
+The accuracy campaign (used by Figs. 3–6) mirrors the paper's methodology:
+for each algorithm configuration, run ``nmpiruns`` independent simulated
+jobs (fresh clocks and network jitter per run — a new ``mpirun``); in each
+job, synchronize clocks, then run CHECK_CLOCK_ACCURACY (Algorithm 6) at
+each waiting time.  One scatter point of Figs. 3–6 is one job: x = the
+synchronization duration (max across ranks, including communicator
+creation for hierarchical schemes), y = the measured maximum clock offset.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.accuracy import check_clock_accuracy, max_abs_offset
+from repro.cluster.machines import MachineSpec
+from repro.simmpi.simulation import Simulation
+from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
+from repro.sync.base import ClockSyncAlgorithm
+from repro.sync.offset import SKaMPIOffset
+from repro.sync.registry import algorithm_from_label
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment size knobs (see EXPERIMENTS.md for the per-figure map)."""
+
+    num_nodes: int
+    ranks_per_node: int
+    nfitpoints: int
+    nexchanges: int
+    fitpoint_spacing: float
+    nmpiruns: int
+    #: JK uses 1/5 the ping-pongs per fit point in the paper's labels
+    #: (jk/1000/skampi/20 vs hca*/1000/skampi/100); its fit-point spacing
+    #: scales accordingly (but not fully, to keep estimates usable at the
+    #: reduced simulation scale).
+    jk_spacing_factor: float = 0.5
+
+    @property
+    def nprocs(self) -> int:
+        return self.num_nodes * self.ranks_per_node
+
+
+#: CI-friendly: seconds of wall time per figure.
+QUICK = Scale(
+    num_nodes=8,
+    ranks_per_node=2,
+    nfitpoints=15,
+    nexchanges=10,
+    fitpoint_spacing=2e-3,
+    nmpiruns=3,
+)
+
+#: Default reproduction scale (minutes of wall time per figure).
+DEFAULT = Scale(
+    num_nodes=16,
+    ranks_per_node=4,
+    nfitpoints=50,
+    nexchanges=20,
+    fitpoint_spacing=5e-3,
+    nmpiruns=10,
+)
+
+SCALES = {"quick": QUICK, "default": DEFAULT}
+
+
+def resolve_scale(scale: str | Scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+#: Drift-stability presets per machine (calibrated in EXPERIMENTS.md):
+#: Jupiter's clocks are stable (the paper's JK is accurate there); Hydra's
+#: "clock drift between processes changes rather quickly"; Titan shows the
+#: largest variance.
+MACHINE_TIME_SOURCES: dict[str, TimeSourceSpec] = {
+    "jupiter": CLOCK_GETTIME.with_(skew_walk_sigma=4e-8),
+    "hydra": CLOCK_GETTIME.with_(skew_walk_sigma=2e-7),
+    "titan": CLOCK_GETTIME.with_(skew_walk_sigma=3e-7),
+}
+
+
+@dataclass
+class SyncRun:
+    """One scatter point: one algorithm config in one simulated mpirun."""
+
+    label: str
+    duration: float
+    #: wait_time -> measured max |offset| across checked clients (seconds).
+    max_offsets: dict[float, float] = field(default_factory=dict)
+
+
+@dataclass
+class SyncCampaignResult:
+    """All runs of a Figs. 3–6-style accuracy campaign."""
+
+    machine: str
+    nprocs: int
+    wait_times: tuple[float, ...]
+    runs: list[SyncRun] = field(default_factory=list)
+
+    def by_label(self) -> dict[str, list[SyncRun]]:
+        out: dict[str, list[SyncRun]] = {}
+        for run in self.runs:
+            out.setdefault(run.label, []).append(run)
+        return out
+
+    def mean_offset(self, label: str, wait: float) -> float:
+        runs = [r for r in self.runs if r.label == label]
+        return float(np.mean([r.max_offsets[wait] for r in runs]))
+
+    def mean_duration(self, label: str) -> float:
+        runs = [r for r in self.runs if r.label == label]
+        return float(np.mean([r.duration for r in runs]))
+
+
+def run_sync_accuracy_campaign(
+    spec: MachineSpec,
+    labels: Sequence[str],
+    scale: str | Scale = "quick",
+    wait_times: Sequence[float] = (0.0, 10.0),
+    sample_fraction: float = 1.0,
+    seed: int = 0,
+    time_source: TimeSourceSpec | None = None,
+) -> SyncCampaignResult:
+    """Figs. 3–6 engine: accuracy-vs-duration for several algorithm labels."""
+    sc = resolve_scale(scale)
+    ts = time_source or MACHINE_TIME_SOURCES.get(spec.name, CLOCK_GETTIME)
+    machine = spec.machine(sc.num_nodes, sc.ranks_per_node)
+    result = SyncCampaignResult(
+        machine=spec.name,
+        nprocs=machine.num_ranks,
+        wait_times=tuple(wait_times),
+    )
+    check_offset_alg = SKaMPIOffset(nexchanges=sc.nexchanges)
+
+    for label in labels:
+        spacing = sc.fitpoint_spacing
+        if label.strip().lower().startswith("jk"):
+            spacing *= sc.jk_spacing_factor
+        for run_idx in range(sc.nmpiruns):
+            # Fresh instance per run: algorithms may carry per-engine caches.
+            algorithm = algorithm_from_label(label, fitpoint_spacing=spacing)
+            run = _one_sync_run(
+                machine_spec=spec,
+                machine=machine,
+                algorithm=algorithm,
+                label=label,
+                wait_times=tuple(wait_times),
+                sample_fraction=sample_fraction,
+                check_offset_alg=check_offset_alg,
+                time_source=ts,
+                seed=seed * 10_000 + (zlib.crc32(label.encode()) % 997) * 101
+                + run_idx,
+            )
+            result.runs.append(run)
+    return result
+
+
+def _one_sync_run(
+    machine_spec: MachineSpec,
+    machine,
+    algorithm: ClockSyncAlgorithm,
+    label: str,
+    wait_times: tuple[float, ...],
+    sample_fraction: float,
+    check_offset_alg,
+    time_source: TimeSourceSpec,
+    seed: int,
+) -> SyncRun:
+    def main(ctx, comm):
+        t0 = ctx.now
+        global_clock = yield from algorithm.sync_clocks(
+            comm, ctx.hardware_clock
+        )
+        duration = ctx.now - t0
+        offsets = yield from check_clock_accuracy(
+            comm,
+            global_clock,
+            check_offset_alg,
+            wait_times=wait_times,
+            sample_fraction=sample_fraction,
+            sample_seed=seed,
+        )
+        return (duration, offsets)
+
+    sim = Simulation(
+        machine=machine,
+        network=machine_spec.network(),
+        time_source=time_source,
+        seed=seed,
+        fabric=machine_spec.fabric(machine.num_nodes),
+    )
+    values = sim.run(main).values
+    duration = max(v[0] for v in values)
+    offsets_by_wait = values[0][1]
+    return SyncRun(
+        label=label,
+        duration=duration,
+        max_offsets={
+            wait: max_abs_offset(per_client)
+            for wait, per_client in offsets_by_wait.items()
+        },
+    )

@@ -1,0 +1,21 @@
+"""Fig. 4: H2HCA vs flat HCA3 on Jupiter (32×16 in the paper).
+
+Expected shapes: the hierarchical composition reduces the synchronization
+time (log #nodes rounds instead of log #procs, minus communicator-creation
+overhead) while keeping — or improving — the accuracy of the global clock,
+because fewer fitted models means less accumulated model error.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machines import JUPITER
+from repro.experiments.common import Scale, SyncCampaignResult
+from repro.experiments.hier import format_hier_result, run_hier_campaign
+
+
+def run(scale: str | Scale = "quick", seed: int = 0) -> SyncCampaignResult:
+    return run_hier_campaign(JUPITER, scale, seed=seed)
+
+
+def format_result(result: SyncCampaignResult) -> str:
+    return format_hier_result(result, "Fig. 4")

@@ -1,0 +1,109 @@
+"""Fig. 8: process imbalance introduced by MPI_Barrier algorithms.
+
+Using the H2HCA global clock, processes line up on a common start time,
+call the barrier, and record their exit timestamps; ``imbalance`` is the
+max-min spread of exits per call.  Distributions over 500 calls × 5 runs
+in the paper.  Expected shape: ``tree`` is by far the best on average;
+``double_ring`` is by far the worst (its token circulates in O(p) serial
+hops, so the first and last exits are a full circulation apart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.imbalance import measure_barrier_imbalance
+from repro.analysis.reporting import Table, format_table
+from repro.cluster.machines import JUPITER
+from repro.experiments.common import (
+    MACHINE_TIME_SOURCES,
+    Scale,
+    resolve_scale,
+)
+from repro.simmpi.simulation import Simulation
+from repro.sync.hierarchical import h2hca
+
+ALGORITHMS = ("bruck", "double_ring", "recursive_doubling", "tree")
+
+
+@dataclass
+class Fig8Result:
+    nprocs: int
+    #: algorithm -> all imbalance samples (seconds) across runs.
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def mean(self, algorithm: str) -> float:
+        vals = [v for v in self.samples[algorithm] if np.isfinite(v)]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def percentile(self, algorithm: str, q: float) -> float:
+        vals = [v for v in self.samples[algorithm] if np.isfinite(v)]
+        return float(np.percentile(vals, q)) if vals else float("nan")
+
+
+def run(
+    scale: str | Scale = "quick",
+    seed: int = 0,
+    ncalls: int | None = None,
+    nmpiruns: int | None = None,
+) -> Fig8Result:
+    sc = resolve_scale(scale)
+    # Node-concentrated ranks, like the paper's 32x16 (see fig7).
+    machine = JUPITER.machine(max(4, sc.num_nodes // 4), 16)
+    ncalls = ncalls or (50 if sc.nmpiruns <= 3 else 500)
+    nmpiruns = nmpiruns or min(sc.nmpiruns, 5)
+    result = Fig8Result(nprocs=machine.num_ranks)
+    sync_alg = h2hca(nfitpoints=sc.nfitpoints,
+                     fitpoint_spacing=sc.fitpoint_spacing)
+
+    def main(ctx, comm):
+        g_clk = yield from sync_alg.sync_clocks(comm, ctx.hardware_clock)
+        out = {}
+        for algorithm in ALGORITHMS:
+            samples = yield from measure_barrier_imbalance(
+                comm, g_clk, algorithm, nreps=ncalls
+            )
+            if comm.rank == 0:
+                out[algorithm] = samples
+        return out
+
+    for run_idx in range(nmpiruns):
+        sim = Simulation(
+            machine=machine,
+            network=JUPITER.network(),
+            time_source=MACHINE_TIME_SOURCES["jupiter"],
+            seed=seed * 1000 + run_idx,
+        )
+        per_alg = sim.run(main).values[0]
+        for algorithm, samples in per_alg.items():
+            result.samples.setdefault(algorithm, []).extend(samples)
+    return result
+
+
+def format_result(result: Fig8Result) -> str:
+    table = Table(
+        title=(
+            f"Fig. 8: barrier-exit imbalance [us] "
+            f"({result.nprocs} processes, Jupiter)"
+        ),
+        columns=["algorithm", "mean", "p50", "p95", "samples"],
+    )
+    for algorithm in ALGORITHMS:
+        vals = [v for v in result.samples[algorithm] if np.isfinite(v)]
+        table.add_row(
+            algorithm,
+            f"{result.mean(algorithm) * 1e6:.2f}",
+            f"{result.percentile(algorithm, 50) * 1e6:.2f}",
+            f"{result.percentile(algorithm, 95) * 1e6:.2f}",
+            len(vals),
+        )
+    lines = [format_table(table)]
+    means = {a: result.mean(a) for a in ALGORITHMS}
+    best = min(means, key=means.get)
+    worst = max(means, key=means.get)
+    lines.append(
+        f"best: {best} (paper: tree) / worst: {worst} (paper: double_ring)"
+    )
+    return "\n".join(lines)

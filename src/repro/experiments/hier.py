@@ -1,0 +1,67 @@
+"""Shared engine for the hierarchical-vs-flat comparisons (Figs. 4–6)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table, format_table
+from repro.cluster.machines import MachineSpec
+from repro.experiments.common import (
+    Scale,
+    SyncCampaignResult,
+    resolve_scale,
+    run_sync_accuracy_campaign,
+)
+
+
+def hier_labels_for(scale: Scale) -> list[str]:
+    """The paper's Figs. 4–6 configurations: two HCA3 fit-point budgets,
+    flat and hierarchical (Top HCA3 + Bottom ClockPropagation)."""
+    n = scale.nfitpoints
+    e = scale.nexchanges
+    half = max(2, n // 2)
+    return [
+        f"hca3/recompute_intercept/{n}/skampi_offset/{e}",
+        f"hca3/recompute_intercept/{half}/skampi_offset/{e}",
+        f"Top/hca3/{n}/skampi_offset/{e}/Bottom/ClockPropagation",
+        f"Top/hca3/{half}/skampi_offset/{e}/Bottom/ClockPropagation",
+    ]
+
+
+def run_hier_campaign(
+    spec: MachineSpec,
+    scale: str | Scale,
+    seed: int = 0,
+    sample_fraction: float = 1.0,
+    nmpiruns: int | None = None,
+) -> SyncCampaignResult:
+    sc = resolve_scale(scale)
+    if nmpiruns is not None:
+        from dataclasses import replace
+
+        sc = replace(sc, nmpiruns=nmpiruns)
+    return run_sync_accuracy_campaign(
+        spec=spec,
+        labels=hier_labels_for(sc),
+        scale=sc,
+        wait_times=(0.0, 10.0),
+        sample_fraction=sample_fraction,
+        seed=seed,
+    )
+
+
+def format_hier_result(result: SyncCampaignResult, figure: str) -> str:
+    table = Table(
+        title=(
+            f"{figure}: hierarchical (H2HCA) vs flat HCA3 "
+            f"({result.machine}, {result.nprocs} processes)"
+        ),
+        columns=["configuration", "mean duration [s]",
+                 "max offset @0s [us]", "max offset @10s [us]"],
+    )
+    for label in result.by_label():
+        table.add_row(
+            label,
+            f"{result.mean_duration(label):.3f}",
+            f"{result.mean_offset(label, 0.0) * 1e6:.3f}",
+            f"{result.mean_offset(label, 10.0) * 1e6:.3f}",
+        )
+    return format_table(table)

@@ -1,0 +1,88 @@
+"""Table I: the parallel machines used in the experiments.
+
+The substitution counterpart of the paper's hardware table: for each
+machine preset, the modelled topology and the calibrated network
+parameters (ping-pong latency, jitter), plus a measured small-message
+ping-pong from the simulator as a sanity check of the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import Table, format_table
+from repro.cluster.machines import MACHINES, MachineSpec
+from repro.simmpi.network import Level
+from repro.simmpi.simulation import Simulation
+
+
+@dataclass
+class MachineRow:
+    name: str
+    nodes: int
+    sockets: int
+    cores_per_socket: int
+    network: str
+    model_latency_us: float
+    measured_pingpong_us: float
+
+
+def measured_pingpong(spec: MachineSpec, nreps: int = 200, seed: int = 0):
+    """Median inter-node 8 B ping-pong RTT on the simulated fabric."""
+    machine = spec.machine(2, 1)
+
+    def main(ctx, comm):
+        if comm.rank == 0:
+            rtts = []
+            for _ in range(nreps):
+                t0 = ctx.wtime()
+                yield from comm.send(1, 1, 0.0, 8)
+                yield from comm.recv(1, 1)
+                rtts.append(ctx.wtime() - t0)
+            return float(np.median(rtts))
+        for _ in range(nreps):
+            yield from comm.recv(0, 1)
+            yield from comm.send(0, 1, 0.0, 8)
+        return None
+
+    sim = Simulation(machine=machine, network=spec.network(), seed=seed)
+    return sim.run(main).values[0]
+
+
+def run(seed: int = 0) -> list[MachineRow]:
+    rows = []
+    for name, spec in MACHINES.items():
+        net = spec.network()
+        remote = net.params_for(Level.REMOTE)
+        rows.append(
+            MachineRow(
+                name=name,
+                nodes=spec.default_nodes,
+                sockets=spec.sockets_per_node,
+                cores_per_socket=spec.cores_per_socket,
+                network=net.name,
+                model_latency_us=remote.latency * 1e6,
+                measured_pingpong_us=measured_pingpong(spec, seed=seed) * 1e6,
+            )
+        )
+    return rows
+
+
+def format_result(rows: list[MachineRow]) -> str:
+    table = Table(
+        title="Table I: parallel machines (simulated substitutes)",
+        columns=["name", "nodes", "sockets x cores", "network",
+                 "model latency [us]", "pingpong RTT [us]"],
+    )
+    for row in rows:
+        table.add_row(
+            row.name,
+            row.nodes,
+            f"{row.sockets} x {row.cores_per_socket}",
+            row.network,
+            f"{row.model_latency_us:.2f}",
+            f"{row.measured_pingpong_us:.2f}",
+        )
+    return format_table(table)

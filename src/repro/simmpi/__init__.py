@@ -1,0 +1,38 @@
+"""Discrete-event MPI substrate.
+
+This subpackage is a deterministic simulator of an MPI library running on a
+cluster: processes are Python generators scheduled by an event loop
+(:mod:`repro.simmpi.engine`), point-to-point messages travel through a
+LogGP-flavoured network model (:mod:`repro.simmpi.network`), and collective
+operations are implemented *from* point-to-point messages with the same
+communication structure as the algorithm variants found in Open MPI
+(:mod:`repro.simmpi.collectives`), so algorithm-dependent effects such as
+barrier-exit imbalance emerge from the simulation instead of being assumed.
+
+The public entry point is :class:`repro.simmpi.simulation.Simulation`, which
+wires a machine model, per-node hardware clocks, and an SPMD ``main(ctx)``
+function into a runnable simulated MPI job.
+"""
+
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+from repro.simmpi.network import Level, LinkParams, NetworkModel
+from repro.simmpi.engine import Engine
+from repro.simmpi.process import ProcessContext
+from repro.simmpi.comm import Communicator, COMM_TYPE_SHARED, COMM_TYPE_SOCKET
+from repro.simmpi.simulation import Simulation, SimulationResult
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "Level",
+    "LinkParams",
+    "NetworkModel",
+    "Engine",
+    "ProcessContext",
+    "Communicator",
+    "COMM_TYPE_SHARED",
+    "COMM_TYPE_SOCKET",
+    "Simulation",
+    "SimulationResult",
+]

@@ -1,0 +1,38 @@
+"""Algorithmic variants of MPI collective operations.
+
+Each module implements one collective as generator functions built from
+point-to-point sends/receives, mirroring the communication structure of the
+like-named algorithms in Open MPI's ``coll/tuned`` component.  Because the
+structure is real (not a closed-form cost model), algorithm-dependent
+artefacts — barrier-exit imbalance, skewed completion times, latency
+differences between variants — emerge from the simulation, which is exactly
+what the paper's Figs. 7–9 study.
+"""
+
+from repro.simmpi.collectives.barrier import BARRIER_ALGORITHMS, barrier
+from repro.simmpi.collectives.bcast import BCAST_ALGORITHMS, bcast
+from repro.simmpi.collectives.reduce import REDUCE_ALGORITHMS, reduce
+from repro.simmpi.collectives.allreduce import ALLREDUCE_ALGORITHMS, allreduce
+from repro.simmpi.collectives.gather import GATHER_ALGORITHMS, gather
+from repro.simmpi.collectives.scatter import SCATTER_ALGORITHMS, scatter
+from repro.simmpi.collectives.allgather import ALLGATHER_ALGORITHMS, allgather
+from repro.simmpi.collectives.alltoall import ALLTOALL_ALGORITHMS, alltoall
+
+__all__ = [
+    "BARRIER_ALGORITHMS",
+    "BCAST_ALGORITHMS",
+    "REDUCE_ALGORITHMS",
+    "ALLREDUCE_ALGORITHMS",
+    "GATHER_ALGORITHMS",
+    "SCATTER_ALGORITHMS",
+    "ALLGATHER_ALGORITHMS",
+    "ALLTOALL_ALGORITHMS",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+]

@@ -1,0 +1,53 @@
+"""Binomial-tree helpers shared by tree-shaped collectives."""
+
+from __future__ import annotations
+
+
+def highest_power_of_two_below(n: int) -> int:
+    """Largest power of two <= n (n >= 1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return 1 << (n.bit_length() - 1)
+
+
+def binomial_recv_mask(relative_rank: int, size: int) -> int:
+    """The mask at which ``relative_rank`` receives from its parent.
+
+    Returns 0 for the root (relative rank 0).  The parent is
+    ``relative_rank - mask``.
+    """
+    mask = 1
+    while mask < size:
+        if relative_rank & mask:
+            return mask
+        mask <<= 1
+    return 0
+
+
+def binomial_children(relative_rank: int, size: int) -> list[int]:
+    """Relative ranks of the children in send order (largest subtree first).
+
+    For the classic binomial broadcast, after receiving at ``recv_mask``, a
+    process sends to ``relative_rank + mask`` for each ``mask`` strictly
+    below its receive mask (or below ``size`` for the root), descending.
+    """
+    recv_mask = binomial_recv_mask(relative_rank, size)
+    if recv_mask == 0:
+        mask = highest_power_of_two_below(size) if size > 1 else 0
+    else:
+        mask = recv_mask >> 1
+    children = []
+    while mask > 0:
+        child = relative_rank + mask
+        if child < size:
+            children.append(child)
+        mask >>= 1
+    return children
+
+
+def binomial_parent(relative_rank: int, size: int) -> int | None:
+    """Relative rank of the parent, or None for the root."""
+    mask = binomial_recv_mask(relative_rank, size)
+    if mask == 0:
+        return None
+    return relative_rank - mask

@@ -1,0 +1,92 @@
+"""``MPI_Reduce`` algorithm variants: binomial tree and flat linear.
+
+Reduction operators are plain Python callables ``op(a, b)``; they must be
+associative (and, for the recursive/tree shapes, commutative — true for all
+operators the paper's experiments use: sum, max, logical-or).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.errors import CommunicatorError
+from repro.simmpi.collectives._tree import binomial_children, binomial_parent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+
+def _binomial(
+    comm: "Communicator",
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    root: int,
+    size: int,
+    tag: int,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree reduction toward ``root``."""
+    rank, nprocs = comm.rank, comm.size
+    relative = (rank - root) % nprocs
+    acc = value
+    # Children deliver their partial results before we forward to the parent;
+    # receive deepest-subtree-first so partials are ready when needed.
+    for child in reversed(binomial_children(relative, nprocs)):
+        msg = yield from comm.recv_raw((child + root) % nprocs, tag)
+        acc = op(acc, msg.payload)
+    parent = binomial_parent(relative, nprocs)
+    if parent is not None:
+        yield from comm.send_raw((parent + root) % nprocs, tag, acc, size)
+        return None
+    return acc
+
+
+def _linear(
+    comm: "Communicator",
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    root: int,
+    size: int,
+    tag: int,
+) -> Generator[Any, Any, Any]:
+    """All ranks send to the root, which combines in rank order."""
+    if comm.rank != root:
+        yield from comm.send_raw(root, tag, value, size)
+        return None
+    acc = value
+    for peer in range(comm.size):
+        if peer == root:
+            continue
+        msg = yield from comm.recv_raw(peer, tag)
+        acc = op(acc, msg.payload)
+    return acc
+
+
+REDUCE_ALGORITHMS = {
+    "binomial": _binomial,
+    "linear": _linear,
+}
+
+
+def reduce(
+    comm: "Communicator",
+    value: Any,
+    op: Callable[[Any, Any], Any] | None = None,
+    root: int = 0,
+    size: int = 8,
+    algorithm: str = "binomial",
+) -> Generator[Any, Any, Any]:
+    """Reduce ``value`` to ``root``; root returns the result, others None."""
+    if not 0 <= root < comm.size:
+        raise CommunicatorError(f"invalid reduce root {root}")
+    op = op or operator.add
+    try:
+        impl = REDUCE_ALGORITHMS[algorithm]
+    except KeyError:
+        raise CommunicatorError(
+            f"unknown reduce algorithm {algorithm!r}; "
+            f"choose from {sorted(REDUCE_ALGORITHMS)}"
+        ) from None
+    tag = comm.next_collective_tag()
+    result = yield from impl(comm, value, op, root, size, tag)
+    return result

@@ -1,0 +1,104 @@
+"""``MPI_Scatter`` algorithm variants: linear and binomial.
+
+HCA/HCA2 distribute the learned clock models with ``MPI_Scatter`` (Fig. 1a
+in the paper); this module provides that operation for the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Sequence
+
+from repro.errors import CommunicatorError
+from repro.simmpi.collectives._tree import binomial_children, binomial_parent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+
+def _linear(
+    comm: "Communicator",
+    values: Sequence[Any] | None,
+    root: int,
+    size: int,
+    tag: int,
+) -> Generator[Any, Any, Any]:
+    """Root sends each rank its block directly."""
+    if comm.rank == root:
+        assert values is not None
+        for peer in range(comm.size):
+            if peer != root:
+                yield from comm.send_raw(peer, tag, values[peer], size)
+        return values[root]
+    msg = yield from comm.recv_raw(root, tag)
+    return msg.payload
+
+
+def _binomial(
+    comm: "Communicator",
+    values: Sequence[Any] | None,
+    root: int,
+    size: int,
+    tag: int,
+) -> Generator[Any, Any, Any]:
+    """Scatter down a binomial tree; inner nodes split forwarded blocks."""
+    rank, nprocs = comm.rank, comm.size
+    relative = (rank - root) % nprocs
+
+    if relative == 0:
+        assert values is not None
+        block: dict[int, Any] = {
+            ((r + root) % nprocs): values[(r + root) % nprocs]
+            for r in range(nprocs)
+        }
+    else:
+        parent = binomial_parent(relative, nprocs)
+        assert parent is not None
+        msg = yield from comm.recv_raw((parent + root) % nprocs, tag)
+        block = msg.payload
+
+    for child in binomial_children(relative, nprocs):
+        # The subtree rooted at relative rank c = relative + m (m a power of
+        # two) covers relative ranks c .. c + m - 1.
+        mask = child - relative
+        sub = {}
+        for rel in range(child, min(child + mask, nprocs)):
+            key = (rel + root) % nprocs
+            if key in block:
+                sub[key] = block.pop(key)
+        yield from comm.send_raw(
+            (child + root) % nprocs, tag, sub, size * max(1, len(sub))
+        )
+    return block[rank]
+
+
+SCATTER_ALGORITHMS = {
+    "linear": _linear,
+    "binomial": _binomial,
+}
+
+
+def scatter(
+    comm: "Communicator",
+    values: Sequence[Any] | None = None,
+    root: int = 0,
+    size: int = 8,
+    algorithm: str = "linear",
+) -> Generator[Any, Any, Any]:
+    """Scatter ``values`` (rank-indexed, root only) to all ranks."""
+    if not 0 <= root < comm.size:
+        raise CommunicatorError(f"invalid scatter root {root}")
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise CommunicatorError(
+                "scatter root must supply one value per rank"
+            )
+    try:
+        impl = SCATTER_ALGORITHMS[algorithm]
+    except KeyError:
+        raise CommunicatorError(
+            f"unknown scatter algorithm {algorithm!r}; "
+            f"choose from {sorted(SCATTER_ALGORITHMS)}"
+        ) from None
+    tag = comm.next_collective_tag()
+    result = yield from impl(comm, values, root, size, tag)
+    return result

@@ -1,0 +1,294 @@
+"""Communicators: rank translation, tag spaces, splitting.
+
+A :class:`Communicator` is a per-process view of a process group, exactly
+like an ``MPI_Comm`` handle.  Ranks used in its API are *communicator
+ranks*; translation to global (engine) ranks happens internally.
+
+Tag isolation: every communicator owns a disjoint tag window of width
+``TAG_STRIDE``; user tags occupy the lower half and collective operations
+the upper half, keyed by a per-communicator collective sequence number.
+Communicator ids are allocated by a per-process counter — since
+communicator creation is collective and SPMD programs create communicators
+in the same order on every process, the ids agree across the group (the
+same argument MPI implementations use for context ids).
+
+``split``/``split_type`` are implemented as real collectives (an allgather
+of (color, key) pairs over the ring algorithm) so that communicator
+creation has a realistic, payload-dependent cost — the paper deliberately
+includes this cost when measuring the hierarchical schemes (Section IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Sequence
+
+from repro.errors import CommunicatorError
+from repro.simmpi.message import ANY_TAG, Message
+from repro.simmpi.process import ProcessContext
+
+#: Width of each communicator's tag window.
+TAG_STRIDE = 1 << 20
+#: User tags must be below this bound; collective tags sit above it.
+MAX_USER_TAG = 1 << 19
+
+#: ``MPI_COMM_TYPE_SHARED``: processes on the same compute node.
+COMM_TYPE_SHARED = "shared"
+#: Extension (hwloc-style): processes on the same socket.
+COMM_TYPE_SOCKET = "socket"
+
+
+class Communicator:
+    """Per-process handle to an ordered group of global ranks."""
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        ranks: Sequence[int],
+        comm_id: int,
+    ) -> None:
+        if ctx.rank not in ranks:
+            raise CommunicatorError(
+                f"process {ctx.rank} is not a member of group {ranks}"
+            )
+        self.ctx = ctx
+        self._ranks = tuple(ranks)
+        self.comm_id = comm_id
+        self.rank = self._ranks.index(ctx.rank)
+        self.size = len(self._ranks)
+        self._coll_seq = 0
+
+    # ------------------------------------------------------------------
+    # Rank/tag translation
+    # ------------------------------------------------------------------
+    def global_rank(self, comm_rank: int) -> int:
+        """Translate a communicator rank to the engine's global rank."""
+        if not 0 <= comm_rank < self.size:
+            raise CommunicatorError(
+                f"rank {comm_rank} out of range for size-{self.size} comm"
+            )
+        return self._ranks[comm_rank]
+
+    def comm_rank_of(self, global_rank: int) -> int:
+        """Translate a global rank back to this communicator (or raise)."""
+        try:
+            return self._ranks.index(global_rank)
+        except ValueError:
+            raise CommunicatorError(
+                f"global rank {global_rank} not in communicator"
+            ) from None
+
+    @property
+    def group(self) -> tuple[int, ...]:
+        """The ordered tuple of member global ranks."""
+        return self._ranks
+
+    def _user_tag(self, tag: int) -> int:
+        if not 0 <= tag < MAX_USER_TAG:
+            raise CommunicatorError(f"user tag must be in [0, {MAX_USER_TAG})")
+        return self.comm_id * TAG_STRIDE + tag
+
+    def next_collective_tag(self) -> int:
+        """Fresh tag for one collective call (consistent across members)."""
+        tag = self.comm_id * TAG_STRIDE + MAX_USER_TAG + (
+            self._coll_seq % MAX_USER_TAG
+        )
+        self._coll_seq += 1
+        return tag
+
+    # ------------------------------------------------------------------
+    # Point-to-point in communicator-rank space
+    # ------------------------------------------------------------------
+    def send(self, dest: int, tag: int, payload: Any = None, size: int = 8):
+        """Eager send to communicator rank ``dest`` with a user tag."""
+        yield from self.ctx.send(
+            self.global_rank(dest), self._user_tag(tag), payload, size
+        )
+
+    def ssend(self, dest: int, tag: int, payload: Any = None, size: int = 8):
+        """Synchronous (rendezvous) send to communicator rank ``dest``."""
+        yield from self.ctx.ssend(
+            self.global_rank(dest), self._user_tag(tag), payload, size
+        )
+
+    def recv(self, source: int, tag: int) -> Generator[Any, Any, Message]:
+        """Blocking receive from communicator rank ``source``."""
+        msg = yield from self.ctx.recv(
+            self.global_rank(source), self._user_tag(tag)
+        )
+        return msg
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_tag: int,
+        payload: Any = None,
+        size: int = 8,
+        source: int | None = None,
+        recv_tag: int | None = None,
+    ) -> Generator[Any, Any, Message]:
+        """Send to ``dest`` then receive (defaults: same peer and tag)."""
+        src = dest if source is None else source
+        rtag = send_tag if recv_tag is None else recv_tag
+        msg = yield from self.ctx.sendrecv(
+            self.global_rank(dest),
+            self._user_tag(send_tag),
+            payload,
+            size,
+            self.global_rank(src),
+            self._user_tag(rtag),
+        )
+        return msg
+
+    # ------------------------------------------------------------------
+    # Raw p2p for collective implementations (tag already fully qualified)
+    # ------------------------------------------------------------------
+    def send_raw(self, dest: int, tag: int, payload: Any = None,
+                 size: int = 8):
+        """Send with a pre-qualified tag (collective-internal use)."""
+        yield from self.ctx.send(self.global_rank(dest), tag, payload, size)
+
+    def ssend_raw(self, dest: int, tag: int, payload: Any = None,
+                  size: int = 8):
+        """Synchronous send with a pre-qualified tag."""
+        yield from self.ctx.ssend(self.global_rank(dest), tag, payload, size)
+
+    def recv_raw(
+        self, source: int | None, tag: int
+    ) -> Generator[Any, Any, Message]:
+        """Receive with a pre-qualified tag; ``source=None`` = ANY_SOURCE."""
+        from repro.simmpi.message import ANY_SOURCE
+
+        gsrc = ANY_SOURCE if source is None else self.global_rank(source)
+        msg = yield from self.ctx.recv(gsrc, tag)
+        return msg
+
+    # ------------------------------------------------------------------
+    # Collectives (delegating to the algorithm modules)
+    # ------------------------------------------------------------------
+    def barrier(self, algorithm: str = "tree"):
+        """MPI_Barrier with a named algorithm (see BARRIER_ALGORITHMS)."""
+        from repro.simmpi.collectives.barrier import barrier as _barrier
+
+        yield from _barrier(self, algorithm=algorithm)
+
+    def bcast(self, value: Any = None, root: int = 0, size: int = 8,
+              algorithm: str = "binomial"):
+        """MPI_Bcast: every rank returns the root's value."""
+        from repro.simmpi.collectives.bcast import bcast as _bcast
+
+        result = yield from _bcast(
+            self, value, root=root, size=size, algorithm=algorithm
+        )
+        return result
+
+    def reduce(self, value: Any, op=None, root: int = 0, size: int = 8,
+               algorithm: str = "binomial"):
+        """MPI_Reduce: root returns op-combined value, others None."""
+        from repro.simmpi.collectives.reduce import reduce as _reduce
+
+        result = yield from _reduce(
+            self, value, op=op, root=root, size=size, algorithm=algorithm
+        )
+        return result
+
+    def allreduce(self, value: Any, op=None, size: int = 8,
+                  algorithm: str = "recursive_doubling"):
+        """MPI_Allreduce: every rank returns the op-combined value."""
+        from repro.simmpi.collectives.allreduce import allreduce as _allreduce
+
+        result = yield from _allreduce(
+            self, value, op=op, size=size, algorithm=algorithm
+        )
+        return result
+
+    def gather(self, value: Any, root: int = 0, size: int = 8,
+               algorithm: str = "linear"):
+        """MPI_Gather: root returns the rank-ordered list, others None."""
+        from repro.simmpi.collectives.gather import gather as _gather
+
+        result = yield from _gather(
+            self, value, root=root, size=size, algorithm=algorithm
+        )
+        return result
+
+    def scatter(self, values: Sequence[Any] | None = None, root: int = 0,
+                size: int = 8, algorithm: str = "linear"):
+        """MPI_Scatter: every rank returns its block of root's values."""
+        from repro.simmpi.collectives.scatter import scatter as _scatter
+
+        result = yield from _scatter(
+            self, values, root=root, size=size, algorithm=algorithm
+        )
+        return result
+
+    def allgather(self, value: Any, size: int = 8, algorithm: str = "ring"):
+        """MPI_Allgather: every rank returns the rank-ordered list."""
+        from repro.simmpi.collectives.allgather import allgather as _allgather
+
+        result = yield from _allgather(
+            self, value, size=size, algorithm=algorithm
+        )
+        return result
+
+    def alltoall(self, values: Sequence[Any], size: int = 8,
+                 algorithm: str = "pairwise"):
+        """MPI_Alltoall: exchange values[i] with rank i."""
+        from repro.simmpi.collectives.alltoall import alltoall as _alltoall
+
+        result = yield from _alltoall(
+            self, values, size=size, algorithm=algorithm
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Communicator construction
+    # ------------------------------------------------------------------
+    def _alloc_comm_id(self) -> int:
+        counter = getattr(self.ctx, "_comm_id_counter", 1)
+        self.ctx._comm_id_counter = counter + 1  # type: ignore[attr-defined]
+        return counter
+
+    def dup(self) -> Generator[Any, Any, "Communicator"]:
+        """Collective duplicate (synchronizes via a barrier, like MPI)."""
+        new_id = self._alloc_comm_id()
+        yield from self.barrier(algorithm="tree")
+        return Communicator(self.ctx, self._ranks, new_id)
+
+    def split(
+        self, color: Hashable, key: int | None = None
+    ) -> Generator[Any, Any, "Communicator | None"]:
+        """Collective split by ``color``; ``None`` color → no new comm.
+
+        Implemented as a real allgather of (color, key) pairs so the cost of
+        communicator creation appears in measured synchronization durations.
+        """
+        my_key = self.rank if key is None else key
+        infos = yield from self.allgather((color, my_key), size=16)
+        new_id = self._alloc_comm_id()
+        if color is None:
+            return None
+        members = sorted(
+            (info[1], r)
+            for r, info in enumerate(infos)
+            if info[0] == color
+        )
+        ranks = tuple(self._ranks[r] for _, r in members)
+        return Communicator(self.ctx, ranks, new_id)
+
+    def split_type(
+        self, split_kind: str, key: int | None = None
+    ) -> Generator[Any, Any, "Communicator | None"]:
+        """``MPI_Comm_split_type``: group by shared node or socket."""
+        if split_kind == COMM_TYPE_SHARED:
+            color: Hashable = ("node", self.ctx.node)
+        elif split_kind == COMM_TYPE_SOCKET:
+            color = ("socket", self.ctx.node, self.ctx.socket)
+        else:
+            raise CommunicatorError(f"unknown split type {split_kind!r}")
+        comm = yield from self.split(color, key)
+        return comm
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Communicator(id={self.comm_id}, rank={self.rank}/{self.size})"
+        )

@@ -1,0 +1,378 @@
+"""Deterministic discrete-event engine for simulated MPI processes.
+
+Each simulated process is a Python generator that *carries its own current
+true time* (``ProcessContext.now``) and yields command objects:
+
+* :class:`SendCmd` — deposit a message (eager or rendezvous),
+* :class:`RecvCmd` — blocking receive with source/tag matching,
+* :class:`ElapseCmd` / :class:`WaitUntilCmd` — advance local time.
+
+The engine executes a process *inline* until it blocks on an unmatched
+receive or a rendezvous acknowledgement — with a **causality gate**: a
+command only executes while its process is not ahead of the earliest
+pending event, otherwise it is deferred and re-issued when the heap
+catches up.  The gate makes execution order equal to simulated-time order,
+which keeps shared state (per-node NIC availability, ``ANY_SOURCE``
+mailboxes) causal while still letting uncontended message chains run
+inline without heap churn.
+
+Determinism: heap ties are broken by a monotonic sequence number, and all
+randomness flows from per-process `numpy` generators spawned from a single
+:class:`numpy.random.SeedSequence` — identical seeds give bit-identical
+simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+from repro.errors import DeadlockError, MatchingError, SimulationError
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, RecvDescriptor
+from repro.simmpi.network import Level, NetworkModel
+
+
+# ----------------------------------------------------------------------
+# Commands a process generator may yield
+# ----------------------------------------------------------------------
+@dataclass
+class SendCmd:
+    """Send ``payload`` (``size`` bytes on the wire) to global rank ``dest``.
+
+    ``synchronous=True`` models ``MPI_Ssend``: the sender blocks until the
+    receiver has matched the message, then pays one ack latency.
+    """
+
+    dest: int
+    tag: int
+    payload: Any = None
+    size: int = 8
+    synchronous: bool = False
+
+
+@dataclass
+class RecvCmd:
+    """Blocking receive; yields back the matched :class:`Message`."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass
+class ElapseCmd:
+    """Consume ``duration`` seconds of local computation."""
+
+    duration: float
+
+
+@dataclass
+class WaitUntilCmd:
+    """Sleep until the given *true* time (no-op if already past)."""
+
+    true_time: float
+
+
+Command = SendCmd | RecvCmd | ElapseCmd | WaitUntilCmd
+
+
+class _Proc:
+    """Engine-internal bookkeeping for one simulated process."""
+
+    __slots__ = (
+        "rank",
+        "gen",
+        "now",
+        "blocked",
+        "pending_value",
+        "pending_cmd",
+        "finished",
+        "result",
+        "rng",
+        "mailbox",
+        "recv_wait",
+    )
+
+    def __init__(self, rank: int, rng: np.random.Generator) -> None:
+        self.rank = rank
+        self.gen: Generator[Command, Any, Any] | None = None
+        self.now = 0.0
+        #: RecvDescriptor while blocked on an unmatched receive, the string
+        #: "ssend" while waiting for a rendezvous ack, or None when runnable.
+        self.blocked: RecvDescriptor | str | None = None
+        self.pending_value: Any = None
+        #: Command pulled from the generator but deferred by the causality
+        #: gate (the process was ahead of the global event frontier).
+        self.pending_cmd: Command | None = None
+        self.finished = False
+        self.result: Any = None
+        self.rng = rng
+        #: Messages deposited for this rank, in send order.
+        self.mailbox: list[Message] = []
+        self.recv_wait: RecvDescriptor | None = None
+
+
+class Engine:
+    """Event loop coordinating all simulated processes of one MPI job."""
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        level_of: Callable[[int, int], Level],
+        seed: int | np.random.SeedSequence = 0,
+        max_true_time: float = 1e7,
+        node_of: Callable[[int], int] | None = None,
+        extra_node_latency: Callable[[int, int], float] | None = None,
+    ) -> None:
+        self.network = network
+        self.level_of = level_of
+        #: Maps a rank to its node id; required for NIC-gap modelling.
+        self.node_of = node_of or (lambda rank: 0)
+        #: Fabric hook: extra one-way latency between two *nodes* (torus
+        #: hop costs etc.); applied to REMOTE messages only.
+        self.extra_node_latency = extra_node_latency
+        #: Per-node NIC next-free times (egress and ingress serialization).
+        self._nic_egress: dict[int, float] = {}
+        self._nic_ingress: dict[int, float] = {}
+        self.max_true_time = float(max_true_time)
+        self._seedseq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        self._procs: list[_Proc] = []
+        self._heap: list[tuple[float, int, int]] = []  # (time, seq, rank)
+        self._seq = itertools.count()
+        self._msg_seq = itertools.count()
+        self._started = False
+        #: Monotonically increasing count of delivered messages (stats).
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def add_process(self) -> int:
+        """Reserve a rank and its RNG; returns the new global rank."""
+        if self._started:
+            raise SimulationError("cannot add processes after run() started")
+        rank = len(self._procs)
+        rng = np.random.default_rng(self._seedseq.spawn(1)[0])
+        self._procs.append(_Proc(rank, rng))
+        return rank
+
+    def bind(self, rank: int, gen: Generator[Command, Any, Any]) -> None:
+        """Attach the generator body for a previously added rank."""
+        proc = self._procs[rank]
+        if proc.gen is not None:
+            raise SimulationError(f"rank {rank} already has a body")
+        proc.gen = gen
+
+    @property
+    def num_ranks(self) -> int:
+        """Number of processes registered with the engine."""
+        return len(self._procs)
+
+    def proc_now(self, rank: int) -> float:
+        """Current true time of a process (used by ProcessContext)."""
+        return self._procs[rank].now
+
+    def set_proc_now(self, rank: int, value: float) -> None:
+        """Advance a process's local true time (ProcessContext hook)."""
+        self._procs[rank].now = value
+
+    def rng_of(self, rank: int) -> np.random.Generator:
+        """The per-process random stream (deterministic per seed)."""
+        return self._procs[rank].rng
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def run(self) -> list[Any]:
+        """Run every process to completion; returns per-rank return values."""
+        if self._started:
+            raise SimulationError("engine can only run once")
+        self._started = True
+        for proc in self._procs:
+            if proc.gen is None:
+                raise SimulationError(f"rank {proc.rank} has no body bound")
+            self._schedule(proc, 0.0)
+
+        while self._heap:
+            t, _, rank = heapq.heappop(self._heap)
+            proc = self._procs[rank]
+            if proc.finished:
+                continue
+            if t > self.max_true_time:
+                raise SimulationError(
+                    f"simulation exceeded max_true_time={self.max_true_time}"
+                )
+            proc.now = max(proc.now, t)
+            self._run_proc(proc)
+
+        unfinished = [p.rank for p in self._procs if not p.finished]
+        if unfinished:
+            states = {
+                p.rank: p.blocked for p in self._procs if p.rank in unfinished
+            }
+            raise DeadlockError(
+                f"deadlock: ranks {unfinished} blocked with states {states}"
+            )
+        return [p.result for p in self._procs]
+
+    def _schedule(self, proc: _Proc, time: float) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), proc.rank))
+
+    def _run_proc(self, proc: _Proc) -> None:
+        """Step ``proc`` inline until it blocks, defers, or finishes.
+
+        Causality gate: a command only executes while its process is not
+        ahead of the earliest pending event in the heap.  Without the
+        gate, a process running ahead of global time would mutate shared
+        state (the per-node NIC availability, ANY_SOURCE mailboxes) out of
+        time order and other processes would observe effects "from the
+        future".  A gated command is stashed on the process and re-issued
+        when the heap catches up.
+        """
+        gen = proc.gen
+        assert gen is not None
+        value = proc.pending_value
+        proc.pending_value = None
+        cmd: Command | None = proc.pending_cmd
+        proc.pending_cmd = None
+        proc.blocked = None
+        while True:
+            if cmd is None:
+                try:
+                    cmd = gen.send(value)
+                except StopIteration as stop:
+                    proc.finished = True
+                    proc.result = stop.value
+                    return
+                value = None
+            if self._heap and proc.now > self._heap[0][0]:
+                # Ahead of the frontier: defer until the heap catches up.
+                proc.pending_cmd = cmd
+                self._schedule(proc, proc.now)
+                return
+            if type(cmd) is SendCmd:
+                self._do_send(proc, cmd)
+                if cmd.synchronous:
+                    # Sender parks until the receiver matches (rendezvous).
+                    proc.blocked = "ssend"
+                    return
+            elif type(cmd) is RecvCmd:
+                msg = self._match_mailbox(proc, cmd.source, cmd.tag)
+                if msg is None:
+                    proc.blocked = RecvDescriptor(
+                        proc.rank, cmd.source, cmd.tag, proc.now
+                    )
+                    return
+                value = self._complete_recv(proc, msg)
+            elif type(cmd) is ElapseCmd:
+                if cmd.duration < 0:
+                    raise SimulationError("cannot elapse a negative duration")
+                proc.now += cmd.duration
+            elif type(cmd) is WaitUntilCmd:
+                if cmd.true_time > proc.now:
+                    proc.now = cmd.true_time
+            else:
+                raise SimulationError(f"unknown command {cmd!r}")
+            cmd = None
+
+    # ------------------------------------------------------------------
+    # Point-to-point mechanics
+    # ------------------------------------------------------------------
+    def _do_send(self, proc: _Proc, cmd: SendCmd) -> None:
+        if not 0 <= cmd.dest < len(self._procs):
+            raise MatchingError(f"send to invalid rank {cmd.dest}")
+        level = self.level_of(proc.rank, cmd.dest)
+        send_time = proc.now
+        proc.now += self.network.o_send
+        delay = self.network.delay(level, cmd.size, proc.rng)
+        if (
+            self.extra_node_latency is not None
+            and level == Level.REMOTE
+        ):
+            delay += self.extra_node_latency(
+                self.node_of(proc.rank), self.node_of(cmd.dest)
+            )
+        arrival = send_time + self.network.o_send + delay
+        gap = self.network.nic_gap
+        if gap > 0.0 and level == Level.REMOTE:
+            # Egress: messages leaving a node serialize at its NIC.
+            src_node = self.node_of(proc.rank)
+            inject = max(proc.now, self._nic_egress.get(src_node, 0.0))
+            self._nic_egress[src_node] = inject + gap
+            # Congestion: delay variance grows with the backlog this
+            # message found at the NIC (queueing, adaptive routing...).
+            backlog = (inject - proc.now) / gap
+            cj = self.network.congestion_jitter
+            if cj > 0.0 and backlog > 0.0:
+                delay += proc.rng.exponential(cj * backlog)
+            arrival = inject + gap + delay
+            # Ingress: arrivals at the destination node serialize too.
+            dst_node = self.node_of(cmd.dest)
+            arrival = max(arrival, self._nic_ingress.get(dst_node, 0.0))
+            self._nic_ingress[dst_node] = arrival + gap
+        msg = Message(
+            source=proc.rank,
+            dest=cmd.dest,
+            tag=cmd.tag,
+            payload=cmd.payload,
+            size=cmd.size,
+            send_time=send_time,
+            arrival=arrival,
+            seq=next(self._msg_seq),
+            sync_sender=proc if cmd.synchronous else None,
+        )
+        dest = self._procs[cmd.dest]
+        blocked = dest.blocked
+        if isinstance(blocked, RecvDescriptor) and msg.matches(
+            blocked.source, blocked.tag
+        ):
+            # Wake the receiver: it resumes once the message arrives.
+            dest.blocked = None
+            dest.pending_value = None
+            resume_at = max(dest.now, msg.arrival)
+            dest.now = resume_at
+            dest.pending_value = self._finish_delivery(dest, msg)
+            self._schedule(dest, resume_at)
+        else:
+            dest.mailbox.append(msg)
+
+    def _match_mailbox(self, proc: _Proc, source: int, tag: int) -> Message | None:
+        for i, msg in enumerate(proc.mailbox):
+            if msg.matches(source, tag):
+                del proc.mailbox[i]
+                return msg
+        return None
+
+    def _complete_recv(self, proc: _Proc, msg: Message) -> Message:
+        proc.now = max(proc.now, msg.arrival)
+        return self._finish_delivery(proc, msg)
+
+    def _finish_delivery(self, proc: _Proc, msg: Message) -> Message:
+        """Charge receive overhead and release a rendezvous sender."""
+        proc.now += self.network.o_recv
+        self.messages_delivered += 1
+        sender = msg.sync_sender
+        if sender is not None:
+            # The ack travels back; the sender resumes after its arrival.
+            level = self.level_of(msg.dest, msg.source)
+            ack_delay = self.network.delay(level, 8, proc.rng)
+            resume_at = max(proc.now, msg.arrival) + ack_delay
+            sender.now = max(sender.now, resume_at)
+            sender.blocked = None
+            self._schedule(sender, sender.now)
+            msg.sync_sender = None
+        return msg
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def blocked_ranks(self) -> Iterable[int]:
+        """Ranks currently blocked (valid only mid-run; for debugging)."""
+        return [p.rank for p in self._procs if p.blocked is not None]

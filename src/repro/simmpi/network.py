@@ -1,0 +1,140 @@
+"""LogGP-flavoured network model with per-level parameters.
+
+Message transfer time between two processes is::
+
+    delay = latency(level) + size / bandwidth(level) + jitter(level)
+
+where ``level`` classifies the pair by topological distance (same core,
+same socket, same node, different node).  Jitter is a shifted-exponential
+draw — a light-tailed body with occasional large outliers (congestion/OS
+noise), controlled by ``outlier_prob``/``outlier_scale``.  These outliers
+are what invalidates window-based measurements in the paper's discussion
+(Section II) and what the Round-Time scheme recovers from.
+
+Sender- and receiver-side CPU overheads (``o_send``/``o_recv``) are charged
+to the calling process's time line by the engine, matching the LogGP "o"
+parameter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Level(enum.IntEnum):
+    """Topological distance between two communicating processes."""
+
+    SELF = 0
+    SOCKET = 1
+    NODE = 2
+    REMOTE = 3
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Latency/bandwidth/jitter parameters for one topology level.
+
+    Attributes
+    ----------
+    latency:
+        Base one-way latency in seconds (half the zero-jitter ping-pong RTT).
+    bandwidth:
+        Bytes per second.
+    jitter_scale:
+        Mean of the exponential jitter term, in seconds.
+    outlier_prob:
+        Probability that a message additionally suffers an outlier delay.
+    outlier_scale:
+        Mean of the (exponential) outlier delay, in seconds.
+    """
+
+    latency: float
+    bandwidth: float
+    jitter_scale: float = 0.0
+    outlier_prob: float = 0.0
+    outlier_scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        if self.jitter_scale < 0 or self.outlier_scale < 0:
+            raise ValueError("jitter scales must be >= 0")
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ValueError("outlier_prob must be in [0, 1]")
+
+
+@dataclass
+class NetworkModel:
+    """Per-level link parameters plus CPU send/recv overheads.
+
+    ``levels`` maps each :class:`Level` to its :class:`LinkParams`; missing
+    levels fall back to the next-coarser defined level (e.g. a model that
+    only defines NODE and REMOTE treats SOCKET/SELF traffic as NODE).
+    """
+
+    levels: dict[Level, LinkParams]
+    o_send: float = 0.2e-6
+    o_recv: float = 0.2e-6
+    #: Per-message serialization gap at a node's NIC (LogGP's g), applied
+    #: to inter-node traffic on both the egress and the ingress side.  This
+    #: is what makes "all ranks of a node communicate off-node at once"
+    #: (dissemination/recursive-doubling barriers) slower and more skewed
+    #: than leader-only patterns (binomial tree) — the Fig. 7/8 effect.
+    nic_gap: float = 0.0
+    #: Mean of an additional exponential delay applied per message already
+    #: queued at the NIC when a message is injected.  Loaded links do not
+    #: just serialize — their delay *variance* grows with backlog
+    #: (queueing/congestion), which is what spreads barrier exits apart in
+    #: all-ranks communication rounds.
+    congestion_jitter: float = 0.0
+    name: str = "generic"
+    _resolved: dict[Level, LinkParams] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("NetworkModel needs at least one level")
+        if self.o_send < 0 or self.o_recv < 0:
+            raise ValueError("overheads must be >= 0")
+        resolved: dict[Level, LinkParams] = {}
+        fallback: LinkParams | None = None
+        # Walk from coarsest to finest so finer levels inherit coarser params.
+        for level in sorted(Level, reverse=True):
+            if level in self.levels:
+                fallback = self.levels[level]
+            if fallback is None:
+                # No coarser level defined; use the finest defined one later.
+                continue
+            resolved[level] = fallback
+        finest_defined = self.levels[min(self.levels)]
+        for level in Level:
+            resolved.setdefault(level, finest_defined)
+        self._resolved = resolved
+
+    def params_for(self, level: Level) -> LinkParams:
+        """The effective link parameters for a topology level."""
+        return self._resolved[level]
+
+    def delay(self, level: Level, size: int, rng: np.random.Generator) -> float:
+        """Draw the wire time of one ``size``-byte message at ``level``."""
+        if size < 0:
+            raise ValueError("message size must be >= 0")
+        p = self._resolved[level]
+        d = p.latency + size / p.bandwidth
+        if p.jitter_scale > 0.0:
+            d += rng.exponential(p.jitter_scale)
+        if p.outlier_prob > 0.0 and rng.random() < p.outlier_prob:
+            d += rng.exponential(p.outlier_scale)
+        return d
+
+    def expected_delay(self, level: Level, size: int) -> float:
+        """Mean wire time (used by latency estimators, not the engine)."""
+        p = self._resolved[level]
+        return (
+            p.latency
+            + size / p.bandwidth
+            + p.jitter_scale
+            + p.outlier_prob * p.outlier_scale
+        )

@@ -1,0 +1,167 @@
+"""Per-process context: the API a simulated MPI process programs against.
+
+A process body is a generator function ``def main(ctx): ...`` that uses
+``yield from`` on the helpers below.  The context exposes
+
+* point-to-point primitives (:meth:`send`, :meth:`recv`, :meth:`ssend`,
+  :meth:`sendrecv`),
+* local-time control (:meth:`elapse`, :meth:`wait_until_clock`),
+* clock reads (:meth:`read_clock`, :meth:`wtime`) which charge the timer's
+  read overhead to the process's time line,
+* placement metadata (rank, node, socket, core) used by the hierarchical
+  synchronization schemes.
+
+Clock reads do **not** yield: they advance the process's local true time
+directly, which the engine honours when scheduling the next command.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.errors import ClockError
+from repro.simmpi.engine import ElapseCmd, Engine, RecvCmd, SendCmd, WaitUntilCmd
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+from repro.simtime.base import Clock
+from repro.simtime.hardware import HardwareClock
+
+
+class ProcessContext:
+    """Handle through which a process body interacts with the simulation."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rank: int,
+        hardware_clock: HardwareClock,
+        node: int = 0,
+        socket: int = 0,
+        core: int = 0,
+        poll_interval: float = 0.1e-6,
+    ) -> None:
+        self.engine = engine
+        self.rank = rank
+        self.hardware_clock = hardware_clock
+        self.node = node
+        self.socket = socket
+        self.core = core
+        #: Busy-wait loop period: a deadline wait lands up to this much late.
+        self.poll_interval = float(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current *true* simulation time (not observable by algorithms)."""
+        return self.engine.proc_now(self.rank)
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.engine.set_proc_now(self.rank, value)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """This process's random stream (noise draws, poll slack)."""
+        return self.engine.rng_of(self.rank)
+
+    @property
+    def nprocs(self) -> int:
+        """World size of the simulated job."""
+        return self.engine.num_ranks
+
+    def read_clock(self, clock: Clock) -> float:
+        """Read ``clock`` now; charges the clock's read overhead."""
+        overhead = clock.read_overhead
+        if overhead:
+            self.now = self.now + overhead
+        return clock.read(self.now)
+
+    def wtime(self) -> float:
+        """``MPI_Wtime``: read this process's hardware clock."""
+        return self.read_clock(self.hardware_clock)
+
+    # ------------------------------------------------------------------
+    # Yielding primitives
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest: int,
+        tag: int,
+        payload: Any = None,
+        size: int = 8,
+    ) -> Generator:
+        """Eager (buffered) send to global rank ``dest``."""
+        yield SendCmd(dest=dest, tag=tag, payload=payload, size=size)
+
+    def ssend(
+        self,
+        dest: int,
+        tag: int,
+        payload: Any = None,
+        size: int = 8,
+    ) -> Generator:
+        """Synchronous (rendezvous) send: returns once the receiver matched."""
+        yield SendCmd(
+            dest=dest, tag=tag, payload=payload, size=size, synchronous=True
+        )
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Any, Any, Message]:
+        """Blocking receive; returns the matched :class:`Message`."""
+        msg = yield RecvCmd(source=source, tag=tag)
+        return msg
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_tag: int,
+        payload: Any = None,
+        size: int = 8,
+        source: int = ANY_SOURCE,
+        recv_tag: int = ANY_TAG,
+    ) -> Generator[Any, Any, Message]:
+        """Eager send followed by a blocking receive (exchange pattern)."""
+        yield SendCmd(dest=dest, tag=send_tag, payload=payload, size=size)
+        msg = yield RecvCmd(source=source, tag=recv_tag)
+        return msg
+
+    def elapse(self, duration: float) -> Generator:
+        """Consume local compute time."""
+        yield ElapseCmd(duration)
+
+    compute = elapse
+
+    def wait_until_true(self, true_time: float) -> Generator:
+        """Sleep until an absolute *true* time (engine-internal use)."""
+        yield WaitUntilCmd(true_time)
+
+    def wait_until_clock(self, clock: Clock, reading: float) -> Generator:
+        """Busy-wait until ``clock`` shows at least ``reading``.
+
+        The wait is resolved analytically by inverting the clock stack, then
+        a uniform draw in ``[0, poll_interval)`` models the polling loop's
+        discretization (a real busy-wait exits up to one loop period late).
+        If the clock already shows a later value, returns immediately.
+        """
+        current = clock.read(self.now)
+        if current < reading:
+            try:
+                deadline = clock.invert(reading)
+            except ClockError:
+                # Non-invertible model: fall back to stepped polling.
+                deadline = self.now
+                step = max(self.poll_interval, 1e-7)
+                while clock.read(deadline) < reading:
+                    deadline += step
+            slack = float(self.rng.uniform(0.0, self.poll_interval))
+            yield WaitUntilCmd(max(deadline + slack, self.now))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessContext(rank={self.rank}, node={self.node}, "
+            f"socket={self.socket}, core={self.core})"
+        )

@@ -1,0 +1,75 @@
+"""Minimal nonblocking point-to-point layer.
+
+The substrate's processes are single-threaded generators, so "nonblocking"
+communication cannot overlap with computation the way hardware does.  The
+semantics provided are the ones MPI guarantees and the paper's algorithms
+need: ``isend`` completes locally at once (eager buffered send), and
+``irecv`` defers the blocking match to ``wait``.  ``waitall`` completes a
+set of requests in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+from repro.simmpi.process import ProcessContext
+
+
+@dataclass
+class Request:
+    """Handle for an outstanding nonblocking operation."""
+
+    ctx: ProcessContext
+    kind: str  # "send" | "recv"
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    complete: bool = False
+    _result: Message | None = field(default=None, repr=False)
+
+    def wait(self) -> Generator[Any, Any, Message | None]:
+        """Block until the operation completes; returns the message (recv)."""
+        if self.complete:
+            return self._result
+        if self.kind != "recv":
+            raise SimulationError(f"cannot wait on kind {self.kind!r}")
+        msg = yield from self.ctx.recv(self.source, self.tag)
+        self.complete = True
+        self._result = msg
+        return msg
+
+    def test(self) -> bool:
+        """Non-yielding completion check (sends only; recvs stay pending)."""
+        return self.complete
+
+
+def isend(
+    ctx: ProcessContext,
+    dest: int,
+    tag: int,
+    payload: Any = None,
+    size: int = 8,
+) -> Generator[Any, Any, Request]:
+    """Start an eager send; the returned request is already complete."""
+    yield from ctx.send(dest, tag, payload, size)
+    return Request(ctx=ctx, kind="send", complete=True)
+
+
+def irecv(
+    ctx: ProcessContext,
+    source: int = ANY_SOURCE,
+    tag: int = ANY_TAG,
+) -> Request:
+    """Post a receive descriptor; match happens at ``wait``."""
+    return Request(ctx=ctx, kind="recv", source=source, tag=tag)
+
+
+def waitall(requests: list[Request]) -> Generator[Any, Any, list[Message | None]]:
+    """Wait for every request, in order; returns their messages."""
+    out: list[Message | None] = []
+    for req in requests:
+        msg = yield from req.wait()
+        out.append(msg)
+    return out

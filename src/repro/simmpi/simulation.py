@@ -1,0 +1,178 @@
+"""High-level facade: wire a machine, clocks, and an SPMD body together.
+
+:class:`Simulation` is the main entry point of the substrate::
+
+    from repro.cluster import jupiter
+    from repro.simmpi import Simulation
+
+    spec = jupiter()
+    sim = Simulation(machine=spec.machine(8, 4), network=spec.network(),
+                     seed=42)
+
+    def main(ctx, comm):
+        total = yield from comm.allreduce(ctx.rank)
+        return total
+
+    result = sim.run(main)
+    assert all(v == sum(range(32)) for v in result.values)
+
+Every rank executes ``main(ctx, comm)`` (a generator function), receiving
+its :class:`~repro.simmpi.process.ProcessContext` and a world
+:class:`~repro.simmpi.comm.Communicator`.  The returned
+:class:`SimulationResult` carries the per-rank return values plus handles
+for ground-truth inspection (hardware clocks, true offsets) that the
+accuracy experiments use for scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.cluster.topology import Machine
+from repro.errors import SimulationError
+from repro.simmpi.comm import Communicator
+from repro.simmpi.engine import Engine
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.process import ProcessContext
+from repro.simtime.hardware import HardwareClock
+from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec, make_clock
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated MPI job."""
+
+    #: Per-rank return values of the SPMD body.
+    values: list[Any]
+    #: Total number of point-to-point messages delivered.
+    messages: int
+    #: Ground-truth hardware clock of each rank.
+    clocks: list[HardwareClock]
+    #: The machine the job ran on.
+    machine: Machine
+
+    def true_offset(self, rank: int, ref_rank: int, true_time: float) -> float:
+        """Ground-truth clock offset ``rank - ref_rank`` at a true time."""
+        return self.clocks[rank].offset_to(self.clocks[ref_rank], true_time)
+
+
+MainFn = Callable[[ProcessContext, Communicator], Generator]
+
+
+class Simulation:
+    """One simulated ``mpirun``: machine + network + clocks + SPMD body."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        network: NetworkModel,
+        time_source: TimeSourceSpec = CLOCK_GETTIME,
+        seed: int = 0,
+        clocks_per: str = "node",
+        poll_interval: float = 0.1e-6,
+        max_true_time: float = 1e7,
+        fabric=None,
+    ) -> None:
+        """Set up the job.
+
+        ``clocks_per`` selects the time-source domain: ``"node"`` (default;
+        all cores of a node share one clock — the common case the paper's
+        ClockPropSync exploits), ``"socket"``, or ``"core"`` (every rank has
+        an independent clock; makes ClockPropSync semantically *incorrect*,
+        which the H3HCA tests exercise).
+
+        ``fabric`` optionally prices node pairs with topology-dependent
+        extra latency (see :mod:`repro.cluster.fabric`; e.g. a
+        :class:`~repro.cluster.fabric.TorusFabric` for Titan's Gemini).
+        """
+        if clocks_per not in ("node", "socket", "core"):
+            raise SimulationError(
+                f"clocks_per must be node/socket/core, got {clocks_per!r}"
+            )
+        self.machine = machine
+        self.network = network
+        self.time_source = time_source
+        self.seed = seed
+        self.clocks_per = clocks_per
+        self.poll_interval = poll_interval
+        self.max_true_time = max_true_time
+
+        seedseq = np.random.SeedSequence(seed)
+        engine_seed, clock_seed = seedseq.spawn(2)
+        self.fabric = fabric
+        self.engine = Engine(
+            network=network,
+            level_of=machine.level_between,
+            seed=engine_seed,
+            max_true_time=max_true_time,
+            node_of=machine.node_of,
+            extra_node_latency=(
+                fabric.extra_latency if fabric is not None else None
+            ),
+        )
+        clock_rng = np.random.default_rng(clock_seed)
+        # One clock per time-source domain; ranks in a domain share it.
+        self._domain_clocks: dict[tuple, HardwareClock] = {}
+        self.clocks: list[HardwareClock] = []
+        self.contexts: list[ProcessContext] = []
+        for rank in range(machine.num_ranks):
+            got = self.engine.add_process()
+            assert got == rank
+            pl = machine.placement(rank)
+            key = self._domain_key(pl)
+            if key not in self._domain_clocks:
+                self._domain_clocks[key] = make_clock(time_source, clock_rng)
+            clock = self._domain_clocks[key]
+            self.clocks.append(clock)
+            self.contexts.append(
+                ProcessContext(
+                    engine=self.engine,
+                    rank=rank,
+                    hardware_clock=clock,
+                    node=pl.node,
+                    socket=pl.socket,
+                    core=pl.core,
+                    poll_interval=poll_interval,
+                )
+            )
+
+    def _domain_key(self, placement) -> tuple:
+        if self.clocks_per == "node":
+            return (placement.node,)
+        if self.clocks_per == "socket":
+            return (placement.node, placement.socket)
+        return (placement.node, placement.socket, placement.core)
+
+    def shared_time_source(self, ranks) -> bool:
+        """Ground-truth oracle: do all ``ranks`` share one hardware clock?
+
+        Plays the role of ``clock_getcpuclockid`` checks on a real system;
+        ClockPropSync is only semantically valid when this holds.
+        """
+        clocks = {id(self.clocks[r]) for r in ranks}
+        return len(clocks) == 1
+
+    def world(self, rank: int) -> Communicator:
+        """A fresh MPI_COMM_WORLD handle for ``rank``."""
+        return Communicator(
+            self.contexts[rank],
+            tuple(range(self.machine.num_ranks)),
+            comm_id=0,
+        )
+
+    def run(self, main: MainFn) -> SimulationResult:
+        """Execute ``main(ctx, world)`` on every rank to completion."""
+        for rank in range(self.machine.num_ranks):
+            ctx = self.contexts[rank]
+            gen = main(ctx, self.world(rank))
+            self.engine.bind(rank, gen)
+        values = self.engine.run()
+        return SimulationResult(
+            values=values,
+            messages=self.engine.messages_delivered,
+            clocks=self.clocks,
+            machine=self.machine,
+        )

@@ -1,0 +1,44 @@
+"""Simulated-time substrate: hardware clocks with offset, skew and drift.
+
+This subpackage models the *physical* clocks of a cluster.  Every simulated
+process owns a :class:`~repro.simtime.hardware.HardwareClock` that converts
+true (simulation) time into the local reading the process would observe via
+``clock_gettime``/``gettimeofday``/``MPI_Wtime``.  Clocks are piecewise
+linear in true time, which keeps reads O(log segments) and makes the whole
+clock stack analytically invertible — a property the discrete-event engine
+exploits to implement busy-waits on global-clock deadlines without stepping.
+"""
+
+from repro.simtime.base import Clock, SECOND, MILLISECOND, MICROSECOND, NANOSECOND
+from repro.simtime.drift import (
+    ConstantDrift,
+    DriftModel,
+    RandomWalkDrift,
+    SinusoidalDrift,
+)
+from repro.simtime.hardware import HardwareClock
+from repro.simtime.sources import (
+    TimeSourceSpec,
+    CLOCK_GETTIME,
+    GETTIMEOFDAY,
+    MPI_WTIME,
+    make_node_clocks,
+)
+
+__all__ = [
+    "Clock",
+    "SECOND",
+    "MILLISECOND",
+    "MICROSECOND",
+    "NANOSECOND",
+    "DriftModel",
+    "ConstantDrift",
+    "RandomWalkDrift",
+    "SinusoidalDrift",
+    "HardwareClock",
+    "TimeSourceSpec",
+    "CLOCK_GETTIME",
+    "GETTIMEOFDAY",
+    "MPI_WTIME",
+    "make_node_clocks",
+]

@@ -1,0 +1,141 @@
+"""Time-source presets and clock factories.
+
+The paper contrasts ``clock_gettime`` (monotonic since boot: nanosecond
+granularity but enormous cross-node offsets) with ``gettimeofday``
+(NTP-disciplined wall clock: microsecond granularity, sub-millisecond
+offsets) as time sources for tracing (Fig. 10).  A :class:`TimeSourceSpec`
+bundles the distributional parameters from which per-node hardware clocks
+are drawn; :func:`make_node_clocks` instantiates one clock per node (cores
+on a node share the node clock, matching the machines in Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.simtime.drift import RandomWalkDrift, SinusoidalDrift
+from repro.simtime.hardware import HardwareClock
+
+
+@dataclass(frozen=True)
+class TimeSourceSpec:
+    """Distribution parameters for a family of hardware clocks.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``clock_gettime`` ...).
+    offset_scale:
+        Scale of the initial offset between nodes, in seconds.  Offsets are
+        drawn uniformly from ``[0, offset_scale)`` for boot-time-style
+        sources and normally with this std-dev for NTP-style sources.
+    offset_is_uniform:
+        True for monotonic sources (offset = time since boot, strictly
+        positive and huge), False for NTP-style zero-mean errors.
+    skew_scale:
+        Std-dev of the per-node initial skew (dimensionless; 50 ppm = 5e-5).
+    skew_walk_sigma:
+        Per-segment std-dev of the skew random walk (non-linear drift).
+    segment_length:
+        Length of constant-rate segments in seconds.
+    granularity:
+        Timer resolution in seconds.
+    read_overhead:
+        True-time cost of one timer read in seconds.
+    """
+
+    name: str
+    offset_scale: float
+    offset_is_uniform: bool
+    skew_scale: float = 10e-6
+    skew_walk_sigma: float = 40e-9
+    segment_length: float = 1.0
+    granularity: float = 1e-9
+    read_overhead: float = 30e-9
+    #: "random_walk" (default) or "sinusoidal" (thermal-cycle curvature).
+    drift_kind: str = "random_walk"
+    #: Sinusoidal drift parameters (ignored for random_walk).
+    sinus_amplitude: float = 2e-6
+    sinus_period: float = 120.0
+
+    def with_(self, **kwargs) -> "TimeSourceSpec":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Monotonic clock (CLOCK_MONOTONIC): ns resolution, offsets are the
+#: differences between node boot times — tens of thousands of seconds.
+CLOCK_GETTIME = TimeSourceSpec(
+    name="clock_gettime",
+    offset_scale=60_000.0,
+    offset_is_uniform=True,
+    granularity=1e-9,
+    read_overhead=25e-9,
+)
+
+#: NTP-disciplined wall clock: µs resolution, offsets within ~200 µs.
+GETTIMEOFDAY = TimeSourceSpec(
+    name="gettimeofday",
+    offset_scale=120e-6,
+    offset_is_uniform=False,
+    granularity=1e-6,
+    read_overhead=30e-9,
+)
+
+#: Open MPI's MPI_Wtime maps to the monotonic clock on Linux.
+MPI_WTIME = CLOCK_GETTIME.with_(name="MPI_Wtime")
+
+
+def make_clock(spec: TimeSourceSpec, rng: np.random.Generator) -> HardwareClock:
+    """Draw a single hardware clock from ``spec``."""
+    if spec.offset_is_uniform:
+        offset = float(rng.uniform(0.0, spec.offset_scale))
+    else:
+        offset = float(rng.normal(0.0, spec.offset_scale))
+    initial_skew = float(rng.normal(0.0, spec.skew_scale))
+    if spec.drift_kind == "sinusoidal":
+        drift: RandomWalkDrift | SinusoidalDrift = SinusoidalDrift(
+            mean_skew=initial_skew,
+            amplitude=spec.sinus_amplitude,
+            period=spec.sinus_period,
+            segment_length=spec.segment_length,
+            phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+        )
+    elif spec.drift_kind == "random_walk":
+        drift = RandomWalkDrift(
+            initial_skew=initial_skew,
+            sigma=spec.skew_walk_sigma,
+            rng=np.random.default_rng(rng.integers(0, 2**63)),
+        )
+    else:
+        raise ValueError(f"unknown drift_kind {spec.drift_kind!r}")
+    return HardwareClock(
+        offset=offset,
+        drift=drift,
+        segment_length=spec.segment_length,
+        granularity=spec.granularity,
+        read_overhead=spec.read_overhead,
+    )
+
+
+def make_node_clocks(
+    num_nodes: int,
+    spec: TimeSourceSpec,
+    seed: int | np.random.Generator = 0,
+) -> list[HardwareClock]:
+    """Create one independent hardware clock per compute node.
+
+    All cores of a node share its clock (the common case the paper's
+    ClockPropSync exploits); callers that model per-socket time sources
+    simply call this once per socket instead.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be > 0")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    return [make_clock(spec, rng) for _ in range(num_nodes)]

@@ -1,0 +1,65 @@
+"""Common interface of all clock-synchronization algorithms."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Generator
+
+from repro.simtime.base import Clock
+from repro.sync.offset import OffsetAlgorithm, SKaMPIOffset
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+#: Tag for model-transfer messages (within the comm user-tag space).
+MODEL_TAG = 8
+#: Tag for sequencing go-signals in O(p) algorithms.
+GO_TAG = 9
+#: Wire size of one serialized linear model (two doubles).
+MODEL_BYTES = 16
+
+
+class ClockSyncAlgorithm(abc.ABC):
+    """SYNC_CLOCKS(comm, clk) → a logical global clock on every rank.
+
+    Collective: every member of ``comm`` must call :meth:`sync_clocks` with
+    its own current clock.  Rank 0 of the communicator is the time source
+    (its returned clock is the identity wrap of its input clock).
+    """
+
+    name: str = "sync"
+
+    @abc.abstractmethod
+    def sync_clocks(
+        self, comm: "Communicator", clock: Clock
+    ) -> Generator:
+        """Run the synchronization; returns the process's global clock."""
+
+    @abc.abstractmethod
+    def label(self) -> str:
+        """Canonical label, e.g. ``hca3/recompute_intercept/1000/skampi_offset/100``."""
+
+
+class ModelLearningSync(ClockSyncAlgorithm):
+    """Base for algorithms built on LEARN_CLOCK_MODEL (JK, HCA*, HCA3)."""
+
+    def __init__(
+        self,
+        offset_alg: OffsetAlgorithm | None = None,
+        nfitpoints: int = 30,
+        recompute_intercept: bool = False,
+        fitpoint_spacing: float = 0.0,
+    ) -> None:
+        self.offset_alg = offset_alg or SKaMPIOffset()
+        self.nfitpoints = nfitpoints
+        self.recompute_intercept = recompute_intercept
+        self.fitpoint_spacing = fitpoint_spacing
+
+    def label(self) -> str:
+        parts = [self.name]
+        if self.recompute_intercept:
+            parts.append("recompute_intercept")
+        parts.append(str(self.nfitpoints))
+        parts.append(self.offset_alg.name)
+        parts.append(str(self.offset_alg.nexchanges))
+        return "/".join(parts)

@@ -1,0 +1,105 @@
+"""LEARN_CLOCK_MODEL and COMPUTE_AND_SET_INTERCEPT (paper Algorithm 2).
+
+A pair of processes collects ``nfitpoints`` offset measurements (each one a
+full run of the configured offset algorithm); the client fits a
+:class:`~repro.sync.linear_model.LinearDriftModel` over them.  With
+``recompute_intercept`` enabled, one extra offset measurement re-anchors
+the intercept after the regression (the paper's accuracy refinement).
+
+``fitpoint_spacing`` inserts client-side think time between fit points.
+The paper's configurations take hundreds of ping-pongs per fit point, which
+spreads the points over a long-enough baseline for the regression to
+resolve ppm-scale slopes; scaled-down simulations use explicit spacing to
+preserve that baseline (see EXPERIMENTS.md).  The reference side needs no
+pacing — it blocks in its receive until the client's next ping arrives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import SyncError
+from repro.simtime.base import Clock
+from repro.sync.linear_model import LinearDriftModel
+from repro.sync.offset import OffsetAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+
+def compute_and_set_intercept(
+    comm: "Communicator",
+    lm: LinearDriftModel | None,
+    clock: Clock,
+    p_ref: int,
+    client: int,
+    offset_alg: OffsetAlgorithm,
+) -> Generator:
+    """Re-anchor the model's intercept from a fresh offset measurement.
+
+    Client: sets ``intercept`` so the model predicts the just-measured
+    offset at the measurement timestamp (paper line: ``lm→intercept ←
+    lm→slope · (−timestamp) + o_obj→GET_OFFSET()``).  Reference side only
+    participates in the measurement and returns ``None``.
+    """
+    measurement = yield from offset_alg.measure_offset(
+        comm, clock, p_ref, client
+    )
+    if comm.rank == client:
+        if lm is None:
+            raise SyncError("client must pass the fitted model")
+        intercept = lm.slope * (-measurement.timestamp) + measurement.offset
+        return lm.with_intercept(intercept)
+    return None
+
+
+def learn_clock_model(
+    comm: "Communicator",
+    p_ref: int,
+    client: int,
+    clock: Clock,
+    offset_alg: OffsetAlgorithm,
+    nfitpoints: int,
+    recompute_intercept: bool = False,
+    fitpoint_spacing: float = 0.0,
+) -> Generator:
+    """Learn the client's drift model relative to ``p_ref``'s clock.
+
+    Collective over the pair; the client returns the fitted
+    :class:`LinearDriftModel`, the reference returns ``None``.  Each side
+    passes its *own* current clock: in HCA3 the reference passes its global
+    clock model, so the client learns a model directly against the emulated
+    global time.
+    """
+    if nfitpoints < 1:
+        raise SyncError("nfitpoints must be >= 1")
+    rank = comm.rank
+    if rank == p_ref:
+        for _ in range(nfitpoints):
+            yield from offset_alg.measure_offset(comm, clock, p_ref, client)
+        if recompute_intercept:
+            yield from compute_and_set_intercept(
+                comm, None, clock, p_ref, client, offset_alg
+            )
+        return None
+    if rank != client:
+        raise SyncError(
+            f"rank {rank} called learn_clock_model for pair "
+            f"({p_ref}, {client})"
+        )
+    xfit = []
+    yfit = []
+    for idx in range(nfitpoints):
+        measurement = yield from offset_alg.measure_offset(
+            comm, clock, p_ref, client
+        )
+        xfit.append(measurement.timestamp)
+        yfit.append(measurement.offset)
+        if fitpoint_spacing > 0.0 and idx != nfitpoints - 1:
+            yield from comm.ctx.elapse(fitpoint_spacing)
+    lm = LinearDriftModel.fit(xfit, yfit)
+    if recompute_intercept:
+        lm = yield from compute_and_set_intercept(
+            comm, lm, clock, p_ref, client, offset_alg
+        )
+    return lm

@@ -1,0 +1,126 @@
+"""Linear clock-drift models: fitting, composition, inversion.
+
+Sign convention (used consistently across the package): a model fitted by a
+*client* against a *reference* predicts
+
+    offset(t) = client_reading(t) - reference_reading(t)
+              = slope * t_client + intercept
+
+so the client's estimate of the reference (global) time is::
+
+    global(t_client) = t_client - (slope * t_client + intercept)
+
+(the ``GlobalClockLM(clk, lm)`` adjustment of the paper's Algorithm 1).
+
+Model *merging* (the MERGE of Fig. 1a): given ``cm(a, b)`` mapping b-time to
+a-time and ``cm(b, c)`` mapping c-time to b-time, the composite ``cm(a, c)``
+maps c-time to a-time by function composition of the affine adjustments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from repro.errors import SyncError
+
+
+@dataclass(frozen=True)
+class LinearDriftModel:
+    """``offset(t) = slope * t + intercept`` (client minus reference)."""
+
+    slope: float
+    intercept: float
+
+    #: The identity model: no drift, no offset (set after class creation).
+    ZERO: ClassVar["LinearDriftModel"]
+
+    def offset_at(self, local_time: float) -> float:
+        """Predicted offset of the client clock at a client-local time."""
+        return self.slope * local_time + self.intercept
+
+    def apply(self, local_time: float) -> float:
+        """Adjust a client-local reading to estimated reference time."""
+        return local_time - (self.slope * local_time + self.intercept)
+
+    def apply_inverse(self, reference_time: float) -> float:
+        """Client-local reading at which :meth:`apply` gives ``reference_time``."""
+        denom = 1.0 - self.slope
+        if abs(denom) < 1e-9:
+            raise SyncError(f"model with slope {self.slope} is not invertible")
+        return (reference_time + self.intercept) / denom
+
+    def compose(self, inner: "LinearDriftModel") -> "LinearDriftModel":
+        """MERGE: ``self`` = cm(a, b), ``inner`` = cm(b, c) → cm(a, c).
+
+        ``apply`` of the result equals ``self.apply(inner.apply(t))``.
+        """
+        # Shortcuts keep identity compositions bit-exact.
+        if inner == LinearDriftModel.ZERO:
+            return self
+        if self == LinearDriftModel.ZERO:
+            return inner
+        # (1 - s_ac) = (1 - s_ab)(1 - s_bc);  i_ac = (1 - s_ab) i_bc + i_ab
+        one_minus = (1.0 - self.slope) * (1.0 - inner.slope)
+        slope = 1.0 - one_minus
+        intercept = (1.0 - self.slope) * inner.intercept + self.intercept
+        return LinearDriftModel(slope=slope, intercept=intercept)
+
+    def with_intercept(self, intercept: float) -> "LinearDriftModel":
+        """Copy with a recomputed intercept (COMPUTE_AND_SET_INTERCEPT)."""
+        return LinearDriftModel(slope=self.slope, intercept=intercept)
+
+    @staticmethod
+    def fit(
+        timestamps: Sequence[float], offsets: Sequence[float]
+    ) -> "LinearDriftModel":
+        """Least-squares fit of offsets over client-local timestamps.
+
+        Timestamps are centred before solving: raw ``clock_gettime`` values
+        can be ~1e4 s while slopes are ~1e-5, and the centred normal
+        equations avoid the catastrophic cancellation a naive fit suffers.
+        """
+        x = np.asarray(timestamps, dtype=np.float64)
+        y = np.asarray(offsets, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise SyncError("timestamps and offsets must be equal-length 1-D")
+        n = x.size
+        if n < 2:
+            if n == 1:
+                # Degenerate but usable: constant-offset model.
+                return LinearDriftModel(slope=0.0, intercept=float(y[0]))
+            raise SyncError("need at least one fit point")
+        x_mean = x.mean()
+        y_mean = y.mean()
+        xc = x - x_mean
+        denom = float(np.dot(xc, xc))
+        if denom == 0.0:
+            # All timestamps identical: constant-offset model.
+            return LinearDriftModel(slope=0.0, intercept=float(y_mean))
+        slope = float(np.dot(xc, y - y_mean) / denom)
+        intercept = float(y_mean - slope * x_mean)
+        return LinearDriftModel(slope=slope, intercept=intercept)
+
+    @staticmethod
+    def r_squared(
+        timestamps: Sequence[float], offsets: Sequence[float]
+    ) -> float:
+        """Coefficient of determination of the fitted model (Fig. 2c check)."""
+        x = np.asarray(timestamps, dtype=np.float64)
+        y = np.asarray(offsets, dtype=np.float64)
+        model = LinearDriftModel.fit(x, y)
+        pred = model.slope * x + model.intercept
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0
+        return 1.0 - ss_res / ss_tot
+
+    def as_tuple(self) -> tuple[float, float]:
+        """(slope, intercept) — the wire format used by flatten_clock."""
+        return (self.slope, self.intercept)
+
+
+LinearDriftModel.ZERO = LinearDriftModel(0.0, 0.0)

@@ -1,0 +1,207 @@
+"""Clock-offset measurement between a reference and a client process.
+
+Both algorithms are faithful implementations of the paper's Appendix A:
+
+* :class:`SKaMPIOffset` (Algorithm 7) — ping-pongs that track the tightest
+  window ``[t_last - s_now, t_last - s_last]`` around the reference
+  timestamp; the midpoint estimates the offset.  Minimum-delay filtering
+  means "if a timing packet is lucky enough to experience the minimum
+  delay, its timestamps have not been corrupted" (Ridoux & Veitch).
+* :class:`MeanRTTOffset` (Algorithm 8, Jones & Koenig) — estimates the RTT
+  once per pair (cached), then derives per-exchange offsets as
+  ``local - ref - rtt/2`` and takes the median.
+
+Sign convention: the returned :class:`ClockOffset` carries
+``offset = client_reading - reference_reading`` (see
+:mod:`repro.sync.linear_model`), measured at client-clock ``timestamp``.
+
+Both sides of a pair call ``measure_offset`` collectively; the client
+returns the measurement, the reference returns ``None``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.errors import SyncError
+from repro.simtime.base import Clock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+#: Wire size of one timestamp message (a double).
+TIMESTAMP_BYTES = 8
+#: Tag used by offset ping-pong traffic (within the comm's user-tag space).
+PINGPONG_TAG = 7
+
+
+@dataclass(frozen=True)
+class ClockOffset:
+    """One offset measurement: (client timestamp, client - ref offset)."""
+
+    timestamp: float
+    offset: float
+
+
+class OffsetAlgorithm(abc.ABC):
+    """Measures the current offset between a client and a reference clock."""
+
+    name: str = "offset"
+
+    def __init__(self, nexchanges: int = 10) -> None:
+        if nexchanges < 1:
+            raise SyncError("nexchanges must be >= 1")
+        self.nexchanges = nexchanges
+
+    @abc.abstractmethod
+    def measure_offset(
+        self,
+        comm: "Communicator",
+        clock: Clock,
+        p_ref: int,
+        client: int,
+    ) -> Generator:
+        """Collective over {p_ref, client}: client returns a ClockOffset."""
+
+    def label(self) -> str:
+        return f"{self.name}/{self.nexchanges}"
+
+
+class SKaMPIOffset(OffsetAlgorithm):
+    """Algorithm 7: minimum-delay window around the reference timestamp."""
+
+    name = "skampi_offset"
+
+    def measure_offset(
+        self,
+        comm: "Communicator",
+        clock: Clock,
+        p_ref: int,
+        client: int,
+    ) -> Generator:
+        ctx = comm.ctx
+        rank = comm.rank
+        if rank == p_ref:
+            for _ in range(self.nexchanges):
+                yield from comm.recv(client, PINGPONG_TAG)
+                t_last = ctx.read_clock(clock)
+                yield from comm.send(
+                    client, PINGPONG_TAG, t_last, TIMESTAMP_BYTES
+                )
+            return None
+        if rank != client:
+            raise SyncError(
+                f"rank {rank} called measure_offset for pair "
+                f"({p_ref}, {client})"
+            )
+        # td_min/td_max bound (ref - client); names follow the paper.
+        td_min = -np.inf
+        td_max = np.inf
+        for _ in range(self.nexchanges):
+            s_last = ctx.read_clock(clock)
+            yield from comm.send(p_ref, PINGPONG_TAG, s_last, TIMESTAMP_BYTES)
+            msg = yield from comm.recv(p_ref, PINGPONG_TAG)
+            t_last = msg.payload
+            s_now = ctx.read_clock(clock)
+            td_min = max(td_min, t_last - s_now)
+            td_max = min(td_max, t_last - s_last)
+        diff = (td_min + td_max) / 2.0  # estimate of (ref - client)
+        timestamp = ctx.read_clock(clock)
+        return ClockOffset(timestamp=timestamp, offset=-diff)
+
+
+class MeanRTTOffset(OffsetAlgorithm):
+    """Algorithm 8: mean-RTT estimate + median of per-exchange offsets.
+
+    The RTT between a pair is measured once and cached (the paper's
+    ``have_rtt`` flag); ``rtt_pingpongs`` controls that estimate's sample
+    count.  Reply messages use a synchronous send, as in the original.
+    """
+
+    name = "mean_rtt_offset"
+
+    def __init__(self, nexchanges: int = 10, rtt_pingpongs: int = 10) -> None:
+        super().__init__(nexchanges)
+        if rtt_pingpongs < 1:
+            raise SyncError("rtt_pingpongs must be >= 1")
+        self.rtt_pingpongs = rtt_pingpongs
+        self._rtt_cache: dict[tuple[int, int, int], float] = {}
+
+    def _measure_rtt(
+        self,
+        comm: "Communicator",
+        clock: Clock,
+        p_ref: int,
+        client: int,
+    ) -> Generator:
+        """Mean round-trip time, measured at the client."""
+        ctx = comm.ctx
+        if comm.rank == p_ref:
+            for _ in range(self.rtt_pingpongs):
+                yield from comm.recv(client, PINGPONG_TAG)
+                yield from comm.send(client, PINGPONG_TAG, 0.0, TIMESTAMP_BYTES)
+            return None
+        samples = []
+        for _ in range(self.rtt_pingpongs):
+            t0 = ctx.read_clock(clock)
+            yield from comm.send(p_ref, PINGPONG_TAG, 0.0, TIMESTAMP_BYTES)
+            yield from comm.recv(p_ref, PINGPONG_TAG)
+            t1 = ctx.read_clock(clock)
+            samples.append(t1 - t0)
+        return float(np.mean(samples))
+
+    def measure_offset(
+        self,
+        comm: "Communicator",
+        clock: Clock,
+        p_ref: int,
+        client: int,
+    ) -> Generator:
+        ctx = comm.ctx
+        rank = comm.rank
+        # Keyed by engine identity too: an algorithm instance reused across
+        # simulated mpiruns must not recycle a dead run's RTT estimate.
+        key = (id(ctx.engine), comm.comm_id, p_ref, client)
+        if key not in self._rtt_cache:
+            rtt = yield from self._measure_rtt(comm, clock, p_ref, client)
+            # The reference side gets None; it does not need the value.
+            self._rtt_cache[key] = rtt if rtt is not None else 0.0
+        rtt = self._rtt_cache[key]
+        if rank == p_ref:
+            for _ in range(self.nexchanges):
+                yield from comm.recv(client, PINGPONG_TAG)
+                tlocal = ctx.read_clock(clock)
+                yield from comm.ssend(
+                    client, PINGPONG_TAG, tlocal, TIMESTAMP_BYTES
+                )
+            return None
+        if rank != client:
+            raise SyncError(
+                f"rank {rank} called measure_offset for pair "
+                f"({p_ref}, {client})"
+            )
+        local_times = np.empty(self.nexchanges)
+        time_var = np.empty(self.nexchanges)
+        for i in range(self.nexchanges):
+            yield from comm.ssend(p_ref, PINGPONG_TAG, 0.0, TIMESTAMP_BYTES)
+            msg = yield from comm.recv(p_ref, PINGPONG_TAG)
+            ref_time = msg.payload
+            local_times[i] = ctx.read_clock(clock)
+            # current offset estimate: client - ref (ref_time was stamped
+            # ~rtt/2 before our read).
+            time_var[i] = local_times[i] - ref_time - rtt / 2.0
+        med_idx = int(np.argsort(time_var)[self.nexchanges // 2])
+        return ClockOffset(
+            timestamp=float(local_times[med_idx]),
+            offset=float(time_var[med_idx]),
+        )
+
+
+OFFSET_ALGORITHMS = {
+    SKaMPIOffset.name: SKaMPIOffset,
+    MeanRTTOffset.name: MeanRTTOffset,
+}

@@ -1,0 +1,89 @@
+"""Periodic re-synchronization — the paper's future-work extension.
+
+Section III-C2 bounds the validity of a linear clock model to roughly
+0–20 s: beyond that, drift non-linearity degrades the global clock, which
+is why "MPI tracing tools ... have to re-synchronize clocks periodically"
+(Doleschal et al., cited in Section II).  :class:`PeriodicResyncClock`
+packages that policy: it owns a synchronization algorithm and re-runs it
+whenever the current model is older than ``max_model_age`` seconds,
+giving long-running campaigns a clock whose error stays bounded instead
+of growing linearly with elapsed time.
+
+Usage (inside an SPMD body)::
+
+    resync = PeriodicResyncClock(h2hca(...), max_model_age=10.0)
+    clock = yield from resync.ensure(comm, ctx)   # syncs on first call
+    ...
+    clock = yield from resync.ensure(comm, ctx)   # re-syncs when stale
+
+``ensure`` is collective: all ranks observe the same staleness decision
+because it is based on the *global* clock reading at the previous sync,
+agreed via a 1-byte broadcast from rank 0 (the time source), so ranks
+never disagree about whether a resync round happens.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import SyncError
+from repro.simtime.base import Clock
+from repro.sync.base import ClockSyncAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+    from repro.simmpi.process import ProcessContext
+
+
+class PeriodicResyncClock:
+    """Keeps a global clock fresh by re-running the sync algorithm."""
+
+    def __init__(
+        self,
+        algorithm: ClockSyncAlgorithm,
+        max_model_age: float = 10.0,
+    ) -> None:
+        if max_model_age <= 0.0:
+            raise SyncError("max_model_age must be > 0")
+        self.algorithm = algorithm
+        self.max_model_age = max_model_age
+        self._clock: Clock | None = None
+        self._synced_at: float | None = None  # global-clock reading
+        self.resync_count = 0
+
+    @property
+    def clock(self) -> Clock:
+        if self._clock is None:
+            raise SyncError("ensure() has not run yet")
+        return self._clock
+
+    def ensure(
+        self, comm: "Communicator", ctx: "ProcessContext"
+    ) -> Generator:
+        """Return a fresh global clock, re-synchronizing if stale.
+
+        Collective over ``comm``.  The staleness decision is made by rank
+        0 against its own (identity) global clock and broadcast, so every
+        rank takes the same branch.
+        """
+        if self._clock is None:
+            stale = True
+        elif comm.rank == 0:
+            age = ctx.read_clock(self._clock) - self._synced_at
+            stale = age >= self.max_model_age
+        else:
+            stale = False  # decided by rank 0 below
+        if self._clock is not None:
+            stale = yield from comm.bcast(
+                stale if comm.rank == 0 else None, root=0, size=1
+            )
+        if stale:
+            self._clock = yield from self.algorithm.sync_clocks(
+                comm, ctx.hardware_clock
+            )
+            self._synced_at = ctx.read_clock(self._clock)
+            self.resync_count += 1
+        return self._clock
+
+    def label(self) -> str:
+        return f"resync[{self.max_model_age:g}s]/{self.algorithm.label()}"

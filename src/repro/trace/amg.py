@@ -1,0 +1,67 @@
+"""AMG2013-like mini-app workload (paper Section V-C).
+
+The paper traces the DOE mini-app AMG2013 with inputs N=40, P=6, where the
+application "spends about 80 % of the time in ``MPI_Allreduce`` with a
+buffer size of 8 B".  The synthetic loop here reproduces that profile: per
+iteration, a short imbalanced local compute phase (solver work) followed by
+one 8-byte ``MPI_Allreduce`` (the CG inner-product reduction).  Compute
+imbalance across ranks is drawn once per iteration, which is what makes
+the per-process start times in the Gantt chart interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.trace.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+
+@dataclass(frozen=True)
+class AMGConfig:
+    """Workload shape parameters."""
+
+    niterations: int = 20
+    #: Mean local compute per iteration (seconds).
+    compute_mean: float = 8e-6
+    #: Per-rank, per-iteration compute imbalance (std-dev, seconds).
+    compute_jitter: float = 2e-6
+    #: Allreduce payload (the paper's 8 B inner products).
+    msize: int = 8
+    allreduce_algorithm: str = "recursive_doubling"
+
+
+AMG_DEFAULTS = AMGConfig()
+
+
+def amg_iteration_loop(
+    comm: "Communicator",
+    tracer: Tracer,
+    config: AMGConfig = AMG_DEFAULTS,
+) -> Generator:
+    """Run the solver loop, tracing each iteration's ``MPI_Allreduce``.
+
+    Returns the number of completed iterations.
+    """
+    ctx = comm.ctx
+    for _ in range(config.niterations):
+        compute = max(
+            0.0,
+            float(
+                ctx.rng.normal(config.compute_mean, config.compute_jitter)
+            ),
+        )
+        yield from ctx.elapse(compute)
+
+        def _allreduce(c):
+            result = yield from c.allreduce(
+                1.0, size=config.msize,
+                algorithm=config.allreduce_algorithm,
+            )
+            return result
+
+        yield from tracer.trace(comm, "MPI_Allreduce", _allreduce)
+    return config.niterations

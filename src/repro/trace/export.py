@@ -1,0 +1,83 @@
+"""Trace export: Chrome trace-event JSON and a plain-text Gantt view.
+
+The paper's Fig. 10 is a Gantt chart; real tools (Vampir, Chrome's
+``about:tracing``, Perfetto) consume standardized event formats.  This
+module converts merged :class:`~repro.trace.tracer.TraceEvent` lists into
+
+* the Chrome trace-event JSON array format (one complete "X" event per
+  traced call, one row per rank), loadable in any Perfetto-style viewer;
+* an ASCII Gantt rendering for terminals and docs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.trace.tracer import TraceEvent
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent],
+    time_unit: float = 1e-6,
+) -> str:
+    """Serialize events as a Chrome trace-event JSON array.
+
+    ``time_unit`` converts clock readings (seconds) into the format's
+    microsecond timestamps; readings are shifted so the earliest event
+    starts at 0 (Chrome renders absolute epoch offsets poorly).
+    """
+    if not events:
+        return "[]"
+    t0 = min(e.start for e in events)
+    records = []
+    for e in sorted(events, key=lambda e: (e.rank, e.start)):
+        records.append(
+            {
+                "name": e.name,
+                "cat": "mpi",
+                "ph": "X",
+                "ts": (e.start - t0) / time_unit,
+                "dur": e.duration / time_unit,
+                "pid": 0,
+                "tid": e.rank,
+                "args": {"iteration": e.iteration},
+            }
+        )
+    return json.dumps(records, indent=1)
+
+
+def to_ascii_gantt(
+    events: Sequence[TraceEvent],
+    name: str,
+    iteration: int,
+    width: int = 60,
+) -> str:
+    """Render one (name, iteration) event as an ASCII Gantt chart.
+
+    Each row is a rank; ``#`` marks the event's extent on a common time
+    axis from the earliest start to the latest end.  When the start spread
+    dwarfs the durations (the paper's local-clock failure mode), the bars
+    degenerate to single characters at wildly different columns — the
+    textual equivalent of Fig. 10b.
+    """
+    selected = sorted(
+        (e for e in events if e.name == name and e.iteration == iteration),
+        key=lambda e: e.rank,
+    )
+    if not selected:
+        raise ValueError(f"no events named {name!r} at iteration {iteration}")
+    t0 = min(e.start for e in selected)
+    t1 = max(e.end for e in selected)
+    span = max(t1 - t0, 1e-12)
+    lines = [f"{name} (iteration {iteration}), span {span * 1e6:.2f} us"]
+    for e in selected:
+        start_col = int((e.start - t0) / span * (width - 1))
+        end_col = int((e.end - t0) / span * (width - 1))
+        end_col = max(end_col, start_col)
+        bar = (
+            " " * start_col
+            + "#" * (end_col - start_col + 1)
+        ).ljust(width)
+        lines.append(f"rank {e.rank:>4} |{bar}|")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Gantt-chart extraction from merged traces (paper Fig. 10).
+
+For a chosen event (e.g. the 10th ``MPI_Allreduce``), the chart shows one
+bar per process: normalized start time and duration.  The paper's
+qualitative finding is captured by :func:`visibility_ratio` — the ratio of
+the typical event duration to the spread of start timestamps.  With local
+``clock_gettime`` timestamps, the spread is ~10 orders of magnitude larger
+than the durations (bars are invisible); with a global clock the spread is
+comparable to the durations (~30 µs events become visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.trace.tracer import TraceEvent
+
+
+@dataclass(frozen=True)
+class GanttBar:
+    """One process's bar: start normalized to the earliest process."""
+
+    rank: int
+    start: float
+    duration: float
+
+
+def gantt_bars(
+    events: Sequence[TraceEvent], name: str, iteration: int
+) -> list[GanttBar]:
+    """Extract the per-process bars of one (name, iteration) event."""
+    selected = [
+        e for e in events if e.name == name and e.iteration == iteration
+    ]
+    if not selected:
+        raise ValueError(f"no events named {name!r} at iteration {iteration}")
+    t0 = min(e.start for e in selected)
+    return [
+        GanttBar(rank=e.rank, start=e.start - t0, duration=e.duration)
+        for e in sorted(selected, key=lambda e: e.rank)
+    ]
+
+
+def start_spread(bars: Sequence[GanttBar]) -> float:
+    """Max - min of normalized start times."""
+    starts = [b.start for b in bars]
+    return max(starts) - min(starts)
+
+
+def visibility_ratio(bars: Sequence[GanttBar]) -> float:
+    """median(duration) / start spread — >~0.1 means bars are visible.
+
+    Under ``clock_gettime`` local timestamps this is ~1e-9 (Fig. 10b: the
+    y-axis spans 6e10 µs while events last 30 µs); under a global clock it
+    is O(1) (Fig. 10a/10c).
+    """
+    spread = start_spread(bars)
+    durations = float(np.median([b.duration for b in bars]))
+    if spread <= 0.0:
+        return float("inf")
+    return durations / spread

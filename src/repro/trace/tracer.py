@@ -1,0 +1,78 @@
+"""Event recording with a pluggable time source.
+
+:class:`Tracer` is the simulated equivalent of the paper's "tailor-made
+MPI tracing library that first executes H2HCA to provide a global clock
+while tracing": it wraps any generator-operation with clock reads and
+records one :class:`TraceEvent` per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.simtime.base import Clock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced MPI call on one process (timestamps = clock readings)."""
+
+    name: str
+    rank: int
+    iteration: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """end - start, in the recording clock's units (seconds)."""
+        return self.end - self.start
+
+
+class Tracer:
+    """Per-process event recorder."""
+
+    def __init__(self, clock: Clock, rank: int) -> None:
+        self.clock = clock
+        self.rank = rank
+        self.events: list[TraceEvent] = []
+        self._counters: dict[str, int] = {}
+
+    def trace(
+        self,
+        comm: "Communicator",
+        name: str,
+        operation: Callable[["Communicator"], Generator],
+    ) -> Generator:
+        """Run ``operation(comm)`` with start/end timestamps recorded."""
+        iteration = self._counters.get(name, 0)
+        self._counters[name] = iteration + 1
+        start = comm.ctx.read_clock(self.clock)
+        result = yield from operation(comm)
+        end = comm.ctx.read_clock(self.clock)
+        self.events.append(
+            TraceEvent(
+                name=name,
+                rank=self.rank,
+                iteration=iteration,
+                start=start,
+                end=end,
+            )
+        )
+        return result
+
+    def gather_events(self, comm: "Communicator") -> Generator:
+        """Collect all ranks' events at the root (post-mortem merge)."""
+        gathered = yield from comm.gather(
+            self.events, root=0, size=32 * max(1, len(self.events))
+        )
+        if comm.rank != 0:
+            return None
+        merged: list[TraceEvent] = []
+        for events in gathered:
+            merged.extend(events)
+        return merged

@@ -1,0 +1,33 @@
+"""Collective-algorithm tuning — the paper's motivating application.
+
+The paper's introduction frames everything around PGMPITuneLib [4]: an
+autotuner that "empirically evaluates the latency of a specific MPI
+operation and several semantically equal replacement algorithms", guided
+by self-consistent MPI performance guidelines [5, 6].  The whole point of
+HCA3 + Round-Time is that *this tuner's decisions depend on how you
+measure* — so the reproduction ships the tuner:
+
+* :mod:`repro.tuning.tuner` — measure every algorithm variant of a
+  collective across message sizes with a configurable measurement scheme
+  and produce a selection table.
+* :mod:`repro.tuning.guidelines` — check Träff-style self-consistent
+  performance guidelines (e.g. ``Allreduce ≼ Reduce + Bcast``) against
+  measured latencies and report violations.
+"""
+
+from repro.tuning.tuner import TuningResult, tune_collective
+from repro.tuning.guidelines import (
+    Guideline,
+    GuidelineReport,
+    STANDARD_GUIDELINES,
+    check_guidelines,
+)
+
+__all__ = [
+    "TuningResult",
+    "tune_collective",
+    "Guideline",
+    "GuidelineReport",
+    "STANDARD_GUIDELINES",
+    "check_guidelines",
+]

@@ -1,0 +1,176 @@
+"""Self-consistent MPI performance guidelines (Träff/Gropp/Thakur).
+
+A performance guideline states that a specialized collective should never
+be slower than a semantically equivalent emulation built from other
+collectives — e.g. ``MPI_Allreduce(n) ≼ MPI_Reduce(n) + MPI_Bcast(n)``.
+PGMPITuneLib [paper ref 4] uses measured violations of such guidelines to
+find replacement algorithms; the paper's point is that *detecting* a
+violation needs trustworthy latency measurements in the first place.
+
+:func:`check_guidelines` measures both sides of each guideline with the
+Round-Time scheme (or barrier scheme, to demonstrate false positives) and
+reports violations with their slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bench.schemes import BarrierScheme, RoundTimeScheme
+from repro.cluster.topology import Machine
+from repro.errors import ConfigurationError
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.simulation import Simulation
+from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
+from repro.sync.hierarchical import h2hca
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """``specialized ≼ mock``: the left side should not be slower."""
+
+    name: str
+    #: Builds the specialized operation: (msize) -> generator op.
+    specialized: Callable[[int], Callable]
+    #: Builds the semantically equivalent emulation.
+    mock: Callable[[int], Callable]
+
+
+def _allreduce(msize):
+    def op(comm):
+        yield from comm.allreduce(1.0, size=msize)
+
+    return op
+
+
+def _reduce_then_bcast(msize):
+    def op(comm):
+        total = yield from comm.reduce(1.0, root=0, size=msize)
+        yield from comm.bcast(total, root=0, size=msize)
+
+    return op
+
+
+def _bcast(msize):
+    def op(comm):
+        yield from comm.bcast(1, root=0, size=msize)
+
+    return op
+
+
+def _scatter_then_allgather(msize):
+    def op(comm):
+        seg = max(1, msize // comm.size)
+        values = (
+            [0] * comm.size if comm.rank == 0 else None
+        )
+        piece = yield from comm.scatter(values, root=0, size=seg)
+        yield from comm.allgather(piece, size=seg)
+
+    return op
+
+
+def _gather(msize):
+    def op(comm):
+        yield from comm.gather(1, root=0, size=msize)
+
+    return op
+
+
+def _allgather_everyone(msize):
+    def op(comm):
+        yield from comm.allgather(1, size=msize)
+
+    return op
+
+
+#: The classic self-consistent guidelines the paper's refs [5, 6] verify.
+STANDARD_GUIDELINES: tuple[Guideline, ...] = (
+    Guideline(
+        name="Allreduce <= Reduce + Bcast",
+        specialized=_allreduce,
+        mock=_reduce_then_bcast,
+    ),
+    Guideline(
+        name="Bcast <= Scatter + Allgather",
+        specialized=_bcast,
+        mock=_scatter_then_allgather,
+    ),
+    Guideline(
+        name="Gather <= Allgather",
+        specialized=_gather,
+        mock=_allgather_everyone,
+    ),
+)
+
+
+@dataclass
+class GuidelineReport:
+    """Measured outcome of the guideline checks."""
+
+    scheme: str
+    msizes: tuple[int, ...]
+    #: (guideline name, msize) -> (specialized latency, mock latency).
+    measured: dict[tuple[str, int], tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def violations(self, tolerance: float = 0.05) -> list[tuple[str, int]]:
+        """Guideline/msize cells where specialized > (1+tol) * mock."""
+        out = []
+        for (name, msize), (spec, mock) in self.measured.items():
+            if spec > (1.0 + tolerance) * mock:
+                out.append((name, msize))
+        return sorted(out)
+
+
+def check_guidelines(
+    machine: Machine,
+    network: NetworkModel,
+    guidelines: Sequence[Guideline] = STANDARD_GUIDELINES,
+    msizes: tuple[int, ...] = (8, 1024),
+    scheme: str = "round_time",
+    nreps: int = 30,
+    max_time_slice: float = 0.05,
+    time_source: TimeSourceSpec = CLOCK_GETTIME,
+    seed: int = 0,
+) -> GuidelineReport:
+    """Measure both sides of every guideline; returns the report."""
+    if scheme not in ("round_time", "barrier"):
+        raise ConfigurationError("scheme must be round_time or barrier")
+    sync = h2hca(nfitpoints=20, fitpoint_spacing=1e-3)
+    report = GuidelineReport(scheme=scheme, msizes=tuple(msizes))
+
+    def main(ctx, comm):
+        g_clk = None
+        if scheme == "round_time":
+            g_clk = yield from sync.sync_clocks(comm, ctx.hardware_clock)
+        cells = {}
+        for guideline in guidelines:
+            for msize in msizes:
+                pair = []
+                for side in (guideline.specialized, guideline.mock):
+                    op = side(msize)
+                    if scheme == "round_time":
+                        runner = RoundTimeScheme(
+                            lambda c: g_clk,
+                            max_time_slice=max_time_slice,
+                            max_nrep=nreps,
+                        )
+                        local = yield from runner.run(comm, op)
+                        stat = local.median()
+                    else:
+                        runner = BarrierScheme(nreps=nreps)
+                        local = yield from runner.run(comm, op)
+                        stat = local.mean()
+                    worst = yield from comm.allreduce(stat, op=max, size=8)
+                    pair.append(worst)
+                if comm.rank == 0:
+                    cells[(guideline.name, msize)] = tuple(pair)
+        return cells if comm.rank == 0 else None
+
+    sim = Simulation(machine=machine, network=network,
+                     time_source=time_source, seed=seed)
+    report.measured = sim.run(main).values[0]
+    return report

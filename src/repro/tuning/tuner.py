@@ -1,0 +1,194 @@
+"""Measure-and-select tuner for collective algorithm variants.
+
+``tune_collective`` runs inside one simulated job: it synchronizes clocks
+(for Round-Time measurement), measures every algorithm variant of the
+requested collective at every message size, and returns the per-size
+winner — the decision PGMPITuneLib would install in the MPI library's
+algorithm-selection table.
+
+Because the measurement scheme is a parameter, the tuner doubles as the
+paper's cautionary tale: ``scheme="barrier"`` reproduces the distorted
+decisions of Fig. 7, ``scheme="round_time"`` the trustworthy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.schemes import BarrierScheme, RoundTimeScheme
+from repro.cluster.topology import Machine
+from repro.errors import ConfigurationError
+from repro.simmpi.collectives import (
+    ALLGATHER_ALGORITHMS,
+    ALLREDUCE_ALGORITHMS,
+    ALLTOALL_ALGORITHMS,
+    BARRIER_ALGORITHMS,
+    BCAST_ALGORITHMS,
+    REDUCE_ALGORITHMS,
+)
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.simulation import Simulation
+from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
+from repro.sync.base import ClockSyncAlgorithm
+from repro.sync.hierarchical import h2hca
+
+#: Collective name -> (algorithm registry, operation factory).
+_COLLECTIVES: dict[str, tuple[dict, Callable]] = {
+    "bcast": (
+        BCAST_ALGORITHMS,
+        lambda alg, msize: lambda comm: comm.bcast(
+            1, algorithm=alg, size=msize
+        ),
+    ),
+    "reduce": (
+        REDUCE_ALGORITHMS,
+        lambda alg, msize: lambda comm: comm.reduce(
+            1.0, algorithm=alg, size=msize
+        ),
+    ),
+    "allreduce": (
+        ALLREDUCE_ALGORITHMS,
+        lambda alg, msize: lambda comm: comm.allreduce(
+            1.0, algorithm=alg, size=msize
+        ),
+    ),
+    "allgather": (
+        ALLGATHER_ALGORITHMS,
+        lambda alg, msize: lambda comm: comm.allgather(
+            1, algorithm=alg, size=msize
+        ),
+    ),
+    "alltoall": (
+        ALLTOALL_ALGORITHMS,
+        lambda alg, msize: lambda comm: comm.alltoall(
+            list(range(comm.size)), algorithm=alg, size=msize
+        ),
+    ),
+    "barrier": (
+        BARRIER_ALGORITHMS,
+        lambda alg, msize: lambda comm: comm.barrier(algorithm=alg),
+    ),
+}
+
+
+@dataclass
+class TuningResult:
+    """Latency table + per-size winners for one collective."""
+
+    collective: str
+    scheme: str
+    msizes: tuple[int, ...]
+    algorithms: tuple[str, ...]
+    #: (msize, algorithm) -> measured latency in seconds.
+    latency: dict[tuple[int, str], float] = field(default_factory=dict)
+
+    def winner(self, msize: int) -> str:
+        candidates = {
+            a: self.latency[(msize, a)] for a in self.algorithms
+        }
+        return min(candidates, key=candidates.get)
+
+    def selection_table(self) -> dict[int, str]:
+        """msize -> chosen algorithm (what a library would install)."""
+        return {m: self.winner(m) for m in self.msizes}
+
+
+def collective_operation(collective: str, algorithm: str, msize: int):
+    """Build a measurable generator op for (collective, algorithm)."""
+    try:
+        registry, factory = _COLLECTIVES[collective]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown collective {collective!r}; "
+            f"choose from {sorted(_COLLECTIVES)}"
+        ) from None
+    if algorithm not in registry:
+        raise ConfigurationError(
+            f"unknown {collective} algorithm {algorithm!r}; "
+            f"choose from {sorted(registry)}"
+        )
+    inner = factory(algorithm, msize)
+
+    def op(comm):
+        result = yield from inner(comm)
+        return result
+
+    return op
+
+
+def tune_collective(
+    collective: str,
+    machine: Machine,
+    network: NetworkModel,
+    msizes: tuple[int, ...] = (8, 1024, 65536),
+    algorithms: tuple[str, ...] | None = None,
+    scheme: str = "round_time",
+    sync_algorithm: ClockSyncAlgorithm | None = None,
+    nreps: int = 30,
+    max_time_slice: float = 0.05,
+    barrier_algorithm: str = "tree",
+    time_source: TimeSourceSpec = CLOCK_GETTIME,
+    seed: int = 0,
+    fabric=None,
+) -> TuningResult:
+    """Measure all variants and return the selection table.
+
+    ``scheme`` is "round_time" (global-clock, the paper's recommendation)
+    or "barrier" (suite-style, distorted for small payloads).
+    """
+    registry, _ = _COLLECTIVES.get(collective, (None, None))
+    if registry is None:
+        raise ConfigurationError(
+            f"unknown collective {collective!r}; "
+            f"choose from {sorted(_COLLECTIVES)}"
+        )
+    algorithms = algorithms or tuple(sorted(registry))
+    if scheme not in ("round_time", "barrier"):
+        raise ConfigurationError("scheme must be round_time or barrier")
+    sync = sync_algorithm or h2hca(nfitpoints=20, fitpoint_spacing=1e-3)
+    result = TuningResult(
+        collective=collective,
+        scheme=scheme,
+        msizes=tuple(msizes),
+        algorithms=tuple(algorithms),
+    )
+
+    def main(ctx, comm):
+        g_clk = None
+        if scheme == "round_time":
+            g_clk = yield from sync.sync_clocks(comm, ctx.hardware_clock)
+        cells = {}
+        for msize in msizes:
+            for algorithm in algorithms:
+                op = collective_operation(collective, algorithm, msize)
+                if scheme == "round_time":
+                    runner = RoundTimeScheme(
+                        lambda c: g_clk,
+                        max_time_slice=max_time_slice,
+                        max_nrep=nreps,
+                    )
+                else:
+                    runner = BarrierScheme(
+                        barrier_algorithm=barrier_algorithm, nreps=nreps
+                    )
+                local = yield from runner.run(comm, op)
+                stat = (
+                    local.median()
+                    if scheme == "round_time"
+                    else local.mean()
+                )
+                worst = yield from comm.allreduce(stat, op=max, size=8)
+                if comm.rank == 0:
+                    cells[(msize, algorithm)] = worst
+        return cells if comm.rank == 0 else None
+
+    sim = Simulation(
+        machine=machine,
+        network=network,
+        time_source=time_source,
+        seed=seed,
+        fabric=fabric,
+    )
+    result.latency = sim.run(main).values[0]
+    return result

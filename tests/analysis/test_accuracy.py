@@ -1,0 +1,91 @@
+"""Tests for CHECK_CLOCK_ACCURACY (Algorithm 6)."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    check_clock_accuracy,
+    ground_truth_accuracy,
+    max_abs_offset,
+)
+from repro.cluster.netmodels import infiniband_qdr
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync import HCA3Sync, SKaMPIOffset
+from tests.conftest import run_spmd
+
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+def campaign(wait_times=(0.0, 1.0), sample_fraction=1.0, nodes=4, seed=0):
+    def main(ctx, comm):
+        alg = HCA3Sync(offset_alg=SKaMPIOffset(8), nfitpoints=10,
+                       fitpoint_spacing=1e-3)
+        g_clk = yield from alg.sync_clocks(comm, ctx.hardware_clock)
+        out = yield from check_clock_accuracy(
+            comm, g_clk, SKaMPIOffset(8), wait_times=wait_times,
+            sample_fraction=sample_fraction,
+        )
+        return (g_clk, out, ctx.now)
+
+    sim, res = run_spmd(main, num_nodes=nodes, ranks_per_node=1,
+                        network=infiniband_qdr(), time_source=QUIET,
+                        seed=seed)
+    return sim, res
+
+
+class TestCheckClockAccuracy:
+    def test_root_reports_all_clients(self):
+        _, res = campaign()
+        _, offsets, _ = res.values[0]
+        assert set(offsets) == {0.0, 1.0}
+        assert set(offsets[0.0]) == {1, 2, 3}
+
+    def test_clients_return_none(self):
+        _, res = campaign()
+        assert all(v[1] is None for v in res.values[1:])
+
+    def test_measured_matches_ground_truth(self):
+        sim, res = campaign(wait_times=(0.0,), seed=3)
+        clocks = [v[0] for v in res.values]
+        _, offsets, t_end = res.values[0]
+        measured = max_abs_offset(offsets[0.0])
+        truth = ground_truth_accuracy(clocks, t_end)
+        # Both tiny; the measurement agrees within the ping-pong noise.
+        assert measured == pytest.approx(truth, abs=2e-6)
+
+    def test_offsets_grow_with_wait(self):
+        spec = CLOCK_GETTIME.with_(skew_walk_sigma=3e-7)
+
+        def main(ctx, comm):
+            alg = HCA3Sync(offset_alg=SKaMPIOffset(8), nfitpoints=10,
+                           fitpoint_spacing=1e-3)
+            g_clk = yield from alg.sync_clocks(comm, ctx.hardware_clock)
+            out = yield from check_clock_accuracy(
+                comm, g_clk, SKaMPIOffset(8), wait_times=(0.0, 20.0)
+            )
+            return out
+
+        _, res = run_spmd(main, num_nodes=4, ranks_per_node=1,
+                          network=infiniband_qdr(), time_source=spec,
+                          seed=5)
+        offsets = res.values[0]
+        assert max_abs_offset(offsets[20.0]) > max_abs_offset(offsets[0.0])
+
+    def test_sampling_reduces_clients(self):
+        _, res = campaign(sample_fraction=0.4, nodes=6, seed=7)
+        _, offsets, _ = res.values[0]
+        assert len(offsets[0.0]) == 2  # 40% of 5 clients
+
+
+class TestGroundTruth:
+    def test_identical_clocks_zero(self):
+        from repro.simtime.hardware import HardwareClock
+
+        clk = HardwareClock(offset=3.0)
+        assert ground_truth_accuracy([clk, clk, clk], 1.0) == 0.0
+
+    def test_max_over_ranks(self):
+        from repro.simtime.hardware import HardwareClock
+
+        clocks = [HardwareClock(offset=0.0), HardwareClock(offset=1.0),
+                  HardwareClock(offset=-2.0)]
+        assert ground_truth_accuracy(clocks, 0.5) == pytest.approx(2.0)

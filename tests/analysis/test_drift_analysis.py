@@ -1,0 +1,117 @@
+"""Tests for drift recording and linearity analysis (Fig. 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.drift import (
+    DriftTrace,
+    detrended_range,
+    drift_linearity,
+    extrapolation_error,
+    mean_r_squared,
+    record_drift,
+)
+from repro.cluster.netmodels import infiniband_qdr
+from repro.errors import SyncError
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync.offset import SKaMPIOffset
+from tests.conftest import run_spmd
+
+
+def make_trace(offsets_fn, duration=100.0, step=1.0):
+    t = np.arange(0.0, duration, step)
+    return DriftTrace(rank=1, timestamps=t, offsets=offsets_fn(t))
+
+
+class TestRecordDrift:
+    def test_traces_shape(self):
+        def main(ctx, comm):
+            out = yield from record_drift(
+                comm, ctx.hardware_clock, duration=5.0, interval=0.5,
+                offset_alg=SKaMPIOffset(5),
+            )
+            return out
+
+        _, res = run_spmd(main, num_nodes=3, ranks_per_node=1,
+                          network=infiniband_qdr(),
+                          time_source=CLOCK_GETTIME, seed=2)
+        traces = res.values[0]
+        assert set(traces) == {1, 2}
+        for trace in traces.values():
+            assert len(trace.timestamps) == 10
+            assert np.all(np.diff(trace.timestamps) > 0)
+
+    def test_offsets_track_ground_truth(self):
+        def main(ctx, comm):
+            out = yield from record_drift(
+                comm, ctx.hardware_clock, duration=4.0, interval=1.0,
+                offset_alg=SKaMPIOffset(8),
+            )
+            return out
+
+        sim, res = run_spmd(main, num_nodes=2, ranks_per_node=1,
+                            network=infiniband_qdr(),
+                            time_source=CLOCK_GETTIME, seed=3)
+        trace = res.values[0][1]
+        # Compare the final measured offset with ground truth at the
+        # corresponding true time (invert the client clock reading).
+        t_true = sim.clocks[1].invert(trace.timestamps[-1])
+        truth = sim.clocks[1].read_raw(t_true) - sim.clocks[0].read_raw(
+            t_true
+        )
+        assert trace.offsets[-1] == pytest.approx(truth, abs=5e-6)
+
+    def test_validation(self):
+        def main(ctx, comm):
+            try:
+                yield from record_drift(
+                    comm, ctx.hardware_clock, duration=0.0, interval=1.0,
+                    offset_alg=SKaMPIOffset(2),
+                )
+            except SyncError:
+                return "raised"
+            return "no"
+
+        _, res = run_spmd(main, network=infiniband_qdr())
+        assert all(v == "raised" for v in res.values)
+
+
+class TestLinearity:
+    def test_linear_trace_r2_one(self):
+        trace = make_trace(lambda t: 1e-5 * t + 2e-4)
+        windows = drift_linearity(trace, window=10.0)
+        assert windows
+        assert all(r2 == pytest.approx(1.0) for _, r2 in windows)
+
+    def test_curved_trace_lower_r2(self):
+        trace = make_trace(lambda t: 1e-8 * (t - 50.0) ** 2)
+        r2_long = mean_r_squared([trace], window=100.0)
+        assert r2_long < 0.9
+
+    def test_detrended_range_zero_for_line(self):
+        trace = make_trace(lambda t: 3e-6 * t)
+        assert detrended_range(trace) == pytest.approx(0.0, abs=1e-15)
+
+    def test_detrended_range_positive_for_curve(self):
+        trace = make_trace(lambda t: 1e-8 * (t - 50.0) ** 2)
+        assert detrended_range(trace) > 1e-6
+
+    def test_extrapolation_error_grows_with_curvature(self):
+        line = make_trace(lambda t: 1e-6 * t)
+        curve = make_trace(lambda t: 1e-6 * t + 5e-9 * t ** 2)
+        assert extrapolation_error(line, 10.0) == pytest.approx(0.0,
+                                                                abs=1e-12)
+        assert extrapolation_error(curve, 10.0) > 1e-6
+
+    def test_extrapolation_needs_points(self):
+        trace = make_trace(lambda t: t, duration=100.0, step=50.0)
+        with pytest.raises(SyncError):
+            extrapolation_error(trace, 10.0)
+
+    def test_windows_skip_sparse_segments(self):
+        t = np.array([0.0, 1.0, 2.0, 50.0])
+        trace = DriftTrace(rank=1, timestamps=t, offsets=t * 1e-6)
+        windows = drift_linearity(trace, window=10.0)
+        starts = [s for s, _ in windows]
+        assert 0.0 in starts
+        assert len(windows) == 1  # the sparse tail has < 3 points

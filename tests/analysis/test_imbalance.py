@@ -1,0 +1,65 @@
+"""Tests for barrier-exit imbalance measurement (Fig. 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.imbalance import measure_barrier_imbalance
+from repro.cluster.netmodels import infiniband_qdr
+from repro.errors import SyncError
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync.hierarchical import h2hca
+from tests.conftest import run_spmd
+
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+def run_imbalance(algorithm, nreps=30, nodes=2, rpn=4, seed=0):
+    def main(ctx, comm):
+        alg = main.algs.setdefault(
+            ctx.rank, h2hca(nfitpoints=10, fitpoint_spacing=1e-3)
+        )
+        g_clk = yield from alg.sync_clocks(comm, ctx.hardware_clock)
+        out = yield from measure_barrier_imbalance(
+            comm, g_clk, algorithm, nreps=nreps
+        )
+        return out
+
+    main.algs = {}
+    _, res = run_spmd(main, num_nodes=nodes, ranks_per_node=rpn,
+                      network=infiniband_qdr(), time_source=QUIET,
+                      seed=seed)
+    return res.values
+
+
+class TestImbalance:
+    def test_root_collects_samples(self):
+        values = run_imbalance("tree", nreps=15)
+        samples = values[0]
+        assert len(samples) == 15
+        assert all(v is None for v in values[1:])
+
+    def test_samples_positive(self):
+        samples = run_imbalance("bruck")[0]
+        finite = [s for s in samples if np.isfinite(s)]
+        assert finite and all(s > 0 for s in finite)
+
+    def test_double_ring_worse_than_tree(self):
+        tree = [s for s in run_imbalance("tree", seed=1)[0]
+                if np.isfinite(s)]
+        ring = [s for s in run_imbalance("double_ring", seed=1)[0]
+                if np.isfinite(s)]
+        assert np.mean(ring) > 2 * np.mean(tree)
+
+    def test_rejects_zero_reps(self):
+        def main(ctx, comm):
+            try:
+                yield from measure_barrier_imbalance(
+                    comm, ctx.hardware_clock, "tree", nreps=0
+                )
+            except SyncError:
+                return "raised"
+            return "no"
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET)
+        assert all(v == "raised" for v in res.values)

@@ -1,0 +1,51 @@
+"""Tests for the reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import Series, Table, fmt_us, format_table, us
+
+
+class TestSeries:
+    def test_add_and_summary(self):
+        s = Series(name="lat", x_label="msize", y_label="us")
+        s.add(4, 10.0)
+        s.add(8, 12.0)
+        assert "lat" in s.summary()
+        assert "n=2" in s.summary()
+
+    def test_summary_ignores_nan(self):
+        s = Series(name="x")
+        s.add(1, float("nan"))
+        s.add(2, 5.0)
+        assert "n=1" in s.summary()
+
+    def test_empty_summary(self):
+        assert "(no data)" in Series(name="e").summary()
+
+
+class TestTable:
+    def test_row_arity_checked(self):
+        t = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_format_alignment(self):
+        t = Table(title="Demo", columns=["name", "value"])
+        t.add_row("x", 1)
+        t.add_row("longer", 22)
+        out = format_table(t)
+        lines = out.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+
+class TestUnits:
+    def test_us(self):
+        assert us(1.5e-6) == pytest.approx(1.5)
+
+    def test_fmt_us(self):
+        assert fmt_us(2.5e-6) == "2.50"
+        assert fmt_us(2.5e-6, digits=0) == "2"

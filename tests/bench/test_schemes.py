@@ -1,0 +1,161 @@
+"""Tests for the measurement schemes (barrier / window / Round-Time)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.schemes import BarrierScheme, RoundTimeScheme, WindowScheme
+from repro.cluster.netmodels import ideal_network, infiniband_qdr
+from repro.errors import ConfigurationError
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync.hierarchical import h2hca
+from tests.conftest import run_spmd
+
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+def allreduce_op(comm):
+    yield from comm.allreduce(1.0, size=8)
+
+
+def run_with_clock(scheme_factory, nodes=2, rpn=2, seed=0,
+                   network=None, operation=allreduce_op):
+    """Sync clocks with H2HCA, then run the scheme; returns rank results."""
+
+    def main(ctx, comm):
+        alg = main.algs.setdefault(
+            ctx.rank, h2hca(nfitpoints=10, fitpoint_spacing=1e-3)
+        )
+        g_clk = yield from alg.sync_clocks(comm, ctx.hardware_clock)
+        scheme = scheme_factory(lambda c: g_clk)
+        result = yield from scheme.run(comm, operation)
+        return result
+
+    main.algs = {}
+    _, res = run_spmd(main, num_nodes=nodes, ranks_per_node=rpn,
+                      network=network or infiniband_qdr(),
+                      time_source=QUIET, seed=seed)
+    return res.values
+
+
+class TestBarrierScheme:
+    def test_collects_requested_reps(self):
+        def main(ctx, comm):
+            scheme = BarrierScheme(nreps=20)
+            result = yield from scheme.run(comm, allreduce_op)
+            return result
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET)
+        for r in res.values:
+            assert r.nvalid == 20
+            assert r.invalid == 0
+            assert all(d > 0 for d in r.durations)
+
+    def test_durations_near_true_latency(self):
+        def main(ctx, comm):
+            scheme = BarrierScheme(nreps=30)
+            result = yield from scheme.run(comm, allreduce_op)
+            return result
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2,
+                          network=infiniband_qdr(), time_source=QUIET)
+        means = [r.mean() for r in res.values]
+        assert all(1e-6 < m < 100e-6 for m in means)
+
+    def test_rejects_zero_reps(self):
+        with pytest.raises(ConfigurationError):
+            BarrierScheme(nreps=0)
+
+
+class TestWindowScheme:
+    def test_valid_measurements_with_generous_window(self):
+        results = run_with_clock(
+            lambda p: WindowScheme(p, window=200e-6, nreps=20)
+        )
+        for r in results:
+            assert r.nvalid >= 15
+            assert all(d > 0 for d in r.durations)
+
+    def test_undersized_window_invalidates(self):
+        results = run_with_clock(
+            lambda p: WindowScheme(p, window=1e-6, nreps=20)
+        )
+        # A 1 us window cannot fit a ~10 us allreduce: after the first
+        # round every subsequent window has already passed (the cascade).
+        total_invalid = sum(r.invalid for r in results)
+        assert total_invalid > 0
+
+    def test_auto_window_from_estimate(self):
+        results = run_with_clock(
+            lambda p: WindowScheme(p, window=None, nreps=10)
+        )
+        assert all(r.nvalid > 0 for r in results)
+
+
+class TestRoundTimeScheme:
+    def test_collects_until_max_nrep(self):
+        results = run_with_clock(
+            lambda p: RoundTimeScheme(p, max_time_slice=5.0, max_nrep=15)
+        )
+        for r in results:
+            assert r.nvalid == 15
+
+    def test_time_slice_bounds_duration(self):
+        def main(ctx, comm):
+            alg = main.algs.setdefault(
+                ctx.rank, h2hca(nfitpoints=10, fitpoint_spacing=1e-3)
+            )
+            g_clk = yield from alg.sync_clocks(comm, ctx.hardware_clock)
+            t0 = ctx.now
+            scheme = RoundTimeScheme(lambda c: g_clk,
+                                     max_time_slice=5e-3, max_nrep=100000)
+            result = yield from scheme.run(comm, allreduce_op)
+            return (result, ctx.now - t0)
+
+        main.algs = {}
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET, seed=2)
+        for result, elapsed in res.values:
+            assert elapsed < 0.1  # slice + one round of slack
+            assert result.nvalid > 0
+
+    def test_all_ranks_same_valid_count(self):
+        results = run_with_clock(
+            lambda p: RoundTimeScheme(p, max_time_slice=5.0, max_nrep=12),
+            seed=3,
+        )
+        assert len({r.nvalid for r in results}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoundTimeScheme(lambda c: None, slack_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RoundTimeScheme(lambda c: None, max_nrep=0)
+
+    def test_durations_measure_collective(self):
+        results = run_with_clock(
+            lambda p: RoundTimeScheme(p, max_time_slice=5.0, max_nrep=20),
+            seed=4,
+        )
+        # Global-clock durations from the common start: positive, bounded.
+        for r in results:
+            arr = np.asarray(r.durations)
+            assert np.all(arr > 0)
+            assert np.all(arr < 1e-3)
+
+
+class TestSchemeResult:
+    def test_stats_empty(self):
+        from repro.bench.schemes import SchemeResult
+
+        r = SchemeResult(scheme="x")
+        assert np.isnan(r.mean())
+        assert np.isnan(r.median())
+
+    def test_stats_values(self):
+        from repro.bench.schemes import SchemeResult
+
+        r = SchemeResult(scheme="x", durations=[1.0, 2.0, 6.0])
+        assert r.mean() == pytest.approx(3.0)
+        assert r.median() == pytest.approx(2.0)
+        assert r.nvalid == 3

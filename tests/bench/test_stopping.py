@@ -1,0 +1,78 @@
+"""Tests for the COV-based adaptive stopping rule."""
+
+import numpy as np
+import pytest
+
+from repro.bench.stopping import (
+    AdaptiveBarrierScheme,
+    coefficient_of_variation,
+)
+from repro.cluster.netmodels import infiniband_qdr, ideal_network
+from repro.errors import ConfigurationError
+from repro.simtime.sources import CLOCK_GETTIME
+from tests.conftest import run_spmd
+
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+def allreduce_op(comm):
+    yield from comm.allreduce(1.0, size=8)
+
+
+class TestCov:
+    def test_constant_series_zero(self):
+        assert coefficient_of_variation(np.ones(10)) == 0.0
+
+    def test_scale_invariant(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert coefficient_of_variation(a) == pytest.approx(
+            coefficient_of_variation(a * 1000)
+        )
+
+    def test_zero_mean_guard(self):
+        assert coefficient_of_variation(np.zeros(5)) == 0.0
+
+
+class TestAdaptiveScheme:
+    def test_stops_early_on_stable_latency(self):
+        """Jitter-free network: stable after the first window."""
+
+        def main(ctx, comm):
+            scheme = AdaptiveBarrierScheme(threshold=0.05, window=5,
+                                           min_nreps=10, max_nreps=500)
+            result = yield from scheme.run(comm, allreduce_op)
+            return result.nvalid
+
+        _, res = run_spmd(main, network=ideal_network(),
+                          time_source=QUIET)
+        assert all(v == 10 for v in res.values)
+
+    def test_caps_at_max_nreps_on_noisy_latency(self):
+        def main(ctx, comm):
+            scheme = AdaptiveBarrierScheme(threshold=1e-5, window=5,
+                                           min_nreps=10, max_nreps=30)
+            result = yield from scheme.run(comm, allreduce_op)
+            return result.nvalid
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET)
+        assert all(v == 30 for v in res.values)
+
+    def test_all_ranks_agree_on_count(self):
+        def main(ctx, comm):
+            scheme = AdaptiveBarrierScheme(threshold=0.2, window=5,
+                                           min_nreps=10, max_nreps=200)
+            result = yield from scheme.run(comm, allreduce_op)
+            return result.nvalid
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET, seed=3)
+        assert len(set(res.values)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBarrierScheme(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBarrierScheme(window=1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBarrierScheme(min_nreps=50, max_nreps=20)

@@ -1,0 +1,46 @@
+"""Unit tests for the Table I machine presets."""
+
+import pytest
+
+from repro.cluster.machines import HYDRA, JUPITER, MACHINES, TITAN
+from repro.simmpi.network import Level
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(MACHINES) == {"jupiter", "hydra", "titan"}
+
+    def test_jupiter_shape(self):
+        m = JUPITER.machine()
+        assert m.num_nodes == 36
+        assert m.cores_per_node == 16
+
+    def test_hydra_shape(self):
+        m = HYDRA.machine()
+        assert m.cores_per_node == 32
+
+    def test_titan_shape(self):
+        m = TITAN.machine()
+        assert m.num_nodes == 1024
+        assert m.cores_per_node == 16
+
+    def test_scaling_override(self):
+        m = JUPITER.machine(4, 2)
+        assert m.num_nodes == 4
+        assert m.num_ranks == 8
+
+    def test_networks_distinct(self):
+        jup = JUPITER.network()
+        hyd = HYDRA.network()
+        tit = TITAN.network()
+        lat = lambda n: n.params_for(Level.REMOTE).latency
+        # OmniPath < InfiniBand QDR < Gemini in small-message latency.
+        assert lat(hyd) < lat(jup) < lat(tit)
+
+    def test_gemini_has_most_jitter(self):
+        jit = lambda spec: spec.network().params_for(Level.REMOTE).jitter_scale
+        assert jit(TITAN) > jit(JUPITER) > jit(HYDRA)
+
+    def test_nic_gap_configured(self):
+        for spec in MACHINES.values():
+            assert spec.network().nic_gap > 0.0

@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.netmodels import ideal_network, infiniband_qdr
+from repro.cluster.topology import Machine
+from repro.simmpi.simulation import Simulation
+from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
+
+#: A time source with zero noise knobs for exact-value tests.
+PERFECT_TIME = TimeSourceSpec(
+    name="perfect",
+    offset_scale=0.0,
+    offset_is_uniform=False,
+    skew_scale=0.0,
+    skew_walk_sigma=0.0,
+    granularity=0.0,
+    read_overhead=0.0,
+)
+
+
+def run_spmd(
+    body,
+    num_nodes: int = 2,
+    ranks_per_node: int = 2,
+    network=None,
+    time_source: TimeSourceSpec = CLOCK_GETTIME,
+    seed: int = 0,
+    clocks_per: str = "node",
+):
+    """Run an SPMD generator body on a small machine; returns the result."""
+    machine = Machine(
+        num_nodes=num_nodes,
+        sockets_per_node=2,
+        cores_per_socket=max(1, (ranks_per_node + 1) // 2),
+        ranks_per_node=ranks_per_node,
+        name="testbox",
+    )
+    sim = Simulation(
+        machine=machine,
+        network=network or ideal_network(),
+        time_source=time_source,
+        seed=seed,
+        clocks_per=clocks_per,
+    )
+    return sim, sim.run(body)
+
+
+@pytest.fixture
+def jitter_network():
+    """A realistic network (jitter, outliers) for statistical tests."""
+    return infiniband_qdr()
+
+
+@pytest.fixture
+def perfect_time():
+    return PERFECT_TIME

@@ -1,0 +1,38 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.__main__ import TARGETS, build_parser, main
+
+
+class TestParser:
+    def test_all_targets_registered(self):
+        expected = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                    "fig7", "fig8", "fig9", "fig10"}
+        assert set(TARGETS) == expected
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "quick"
+        assert args.seed == 0
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scale", "enormous"])
+
+
+class TestMain:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "jupiter" in out
+        assert "[table1:" in out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out

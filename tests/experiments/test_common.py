@@ -1,0 +1,102 @@
+"""Tests for the shared experiment machinery."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.machines import JUPITER
+from repro.experiments.common import (
+    DEFAULT,
+    QUICK,
+    MACHINE_TIME_SOURCES,
+    Scale,
+    resolve_scale,
+    run_sync_accuracy_campaign,
+)
+
+
+class TestScale:
+    def test_presets(self):
+        assert resolve_scale("quick") is QUICK
+        assert resolve_scale("default") is DEFAULT
+
+    def test_pass_through(self):
+        custom = Scale(num_nodes=2, ranks_per_node=1, nfitpoints=5,
+                       nexchanges=5, fitpoint_spacing=1e-3, nmpiruns=1)
+        assert resolve_scale(custom) is custom
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scale("galactic")
+
+    def test_nprocs(self):
+        assert QUICK.nprocs == QUICK.num_nodes * QUICK.ranks_per_node
+
+    def test_machine_time_sources_cover_table1(self):
+        assert set(MACHINE_TIME_SOURCES) == {"jupiter", "hydra", "titan"}
+        # Jupiter's clocks are the most stable, Titan's the least.
+        assert (MACHINE_TIME_SOURCES["jupiter"].skew_walk_sigma
+                < MACHINE_TIME_SOURCES["hydra"].skew_walk_sigma
+                <= MACHINE_TIME_SOURCES["titan"].skew_walk_sigma)
+
+
+class TestCampaign:
+    TINY = Scale(num_nodes=3, ranks_per_node=2, nfitpoints=8,
+                 nexchanges=6, fitpoint_spacing=1e-3, nmpiruns=2)
+
+    def test_runs_per_label(self):
+        result = run_sync_accuracy_campaign(
+            spec=JUPITER,
+            labels=["hca3/8/skampi_offset/6", "jk/8/skampi_offset/6"],
+            scale=self.TINY,
+            wait_times=(0.0,),
+            seed=1,
+        )
+        by = result.by_label()
+        assert set(by) == {"hca3/8/skampi_offset/6", "jk/8/skampi_offset/6"}
+        assert all(len(runs) == 2 for runs in by.values())
+        for run in result.runs:
+            assert run.duration > 0
+            assert set(run.max_offsets) == {0.0}
+            assert run.max_offsets[0.0] >= 0
+
+    def test_deterministic_for_seed(self):
+        kw = dict(
+            spec=JUPITER,
+            labels=["hca3/8/skampi_offset/6"],
+            scale=self.TINY,
+            wait_times=(0.0,),
+            seed=3,
+        )
+        a = run_sync_accuracy_campaign(**kw)
+        b = run_sync_accuracy_campaign(**kw)
+        assert [r.duration for r in a.runs] == [r.duration for r in b.runs]
+        assert [r.max_offsets for r in a.runs] == [
+            r.max_offsets for r in b.runs
+        ]
+
+    def test_mpiruns_differ(self):
+        result = run_sync_accuracy_campaign(
+            spec=JUPITER,
+            labels=["hca3/8/skampi_offset/6"],
+            scale=self.TINY,
+            wait_times=(0.0,),
+            seed=4,
+        )
+        offsets = [r.max_offsets[0.0] for r in result.runs]
+        assert offsets[0] != offsets[1]
+
+    def test_jk_gets_reduced_spacing(self):
+        # Indirect check: JK's duration must reflect the reduced per-fit
+        # spacing (full spacing would make it ~2x slower than observed).
+        sc = replace(self.TINY, nmpiruns=1)
+        result = run_sync_accuracy_campaign(
+            spec=JUPITER,
+            labels=["jk/8/skampi_offset/6"],
+            scale=sc,
+            wait_times=(0.0,),
+            seed=5,
+        )
+        jk_duration = result.runs[0].duration
+        # 5 clients x 8 fitpoints x (0.5 x 1 ms) ~ 20 ms + ping-pong time.
+        assert jk_duration < 5 * 8 * 1e-3 * 0.9

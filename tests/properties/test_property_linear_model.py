@@ -1,0 +1,87 @@
+"""Property-based tests for the linear-model algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync.linear_model import LinearDriftModel
+
+slopes = st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False)
+intercepts = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+def models():
+    return st.builds(LinearDriftModel, slope=slopes, intercept=intercepts)
+
+
+class TestModelAlgebra:
+    @given(m=models(), t=times)
+    def test_apply_inverse_roundtrip(self, m, t):
+        assert abs(m.apply_inverse(m.apply(t)) - t) <= 1e-6 * max(1.0, t)
+
+    @given(outer=models(), inner=models(), t=times)
+    def test_compose_is_function_composition(self, outer, inner, t):
+        merged = outer.compose(inner)
+        direct = outer.apply(inner.apply(t))
+        assert abs(merged.apply(t) - direct) <= 1e-9 * max(1.0, abs(direct))
+
+    @given(a=models(), b=models(), c=models(), t=times)
+    def test_compose_associative(self, a, b, c, t):
+        left = a.compose(b).compose(c).apply(t)
+        right = a.compose(b.compose(c)).apply(t)
+        assert abs(left - right) <= 1e-6 * max(1.0, abs(left))
+
+    @given(m=models())
+    def test_zero_is_identity_element(self, m):
+        assert m.compose(LinearDriftModel.ZERO) == m
+        assert LinearDriftModel.ZERO.compose(m) == m
+
+    @given(m=models(), t=times)
+    def test_offset_consistent_with_apply(self, m, t):
+        assert m.apply(t) == t - m.offset_at(t)
+
+
+class TestFitProperties:
+    @given(
+        slope=slopes,
+        intercept=intercepts,
+        n=st.integers(min_value=2, max_value=60),
+        span=st.floats(min_value=0.1, max_value=1e3),
+        x0=st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=60)
+    def test_fit_recovers_exact_line(self, slope, intercept, n, span, x0):
+        x = np.linspace(x0, x0 + span, n)
+        y = slope * x + intercept
+        m = LinearDriftModel.fit(x, y)
+        # Predicted values must match (slope/intercept individually can
+        # trade off under float round-off at large x0).
+        pred = m.slope * x + m.intercept
+        assert np.allclose(pred, y, atol=1e-6, rtol=1e-9)
+
+    @given(
+        slope=slopes,
+        intercept=intercepts,
+        n=st.integers(min_value=3, max_value=50),
+    )
+    @settings(max_examples=40)
+    def test_fit_invariant_to_point_order(self, slope, intercept, n):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100, n)
+        y = slope * x + intercept + rng.normal(0, 1e-6, n)
+        m1 = LinearDriftModel.fit(x, y)
+        perm = rng.permutation(n)
+        m2 = LinearDriftModel.fit(x[perm], y[perm])
+        # Summation order differs, so only near-equality is guaranteed.
+        assert abs(m1.slope - m2.slope) < 1e-12
+        assert abs(m1.intercept - m2.intercept) < 1e-9
+
+    @given(n=st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20)
+    def test_r_squared_in_unit_interval_for_lines_with_noise(self, n):
+        rng = np.random.default_rng(n)
+        x = np.linspace(0, 10, max(3, n))
+        y = x * 1e-5 + rng.normal(0, 1e-6, x.size)
+        r2 = LinearDriftModel.r_squared(x, y)
+        assert r2 <= 1.0 + 1e-12

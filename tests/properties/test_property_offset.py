@@ -1,0 +1,68 @@
+"""Property-based tests for the offset algorithms' error bounds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.netmodels import ideal_network
+from repro.simtime.drift import ConstantDrift
+from repro.simtime.hardware import HardwareClock
+from repro.sync.offset import MeanRTTOffset, SKaMPIOffset
+from repro.cluster.topology import Machine
+from repro.simmpi.simulation import Simulation
+from repro.simtime.sources import TimeSourceSpec
+
+LATENCY = 2e-6
+
+
+def measure_error(offset, skew, alg_factory, seed=0):
+    """Run one measurement between clocks with exact (offset, skew)."""
+    machine = Machine(num_nodes=2, sockets_per_node=1, cores_per_socket=1)
+    spec = TimeSourceSpec(name="t", offset_scale=0.0,
+                          offset_is_uniform=False, skew_scale=0.0,
+                          skew_walk_sigma=0.0, granularity=0.0,
+                          read_overhead=0.0)
+    sim = Simulation(machine=machine, network=ideal_network(LATENCY),
+                     time_source=spec, seed=seed)
+    # Replace the generated clocks with exact ones.
+    ref_clock = HardwareClock(offset=0.0)
+    client_clock = HardwareClock(offset=offset, drift=ConstantDrift(skew))
+    sim.clocks[0] = ref_clock
+    sim.clocks[1] = client_clock
+    sim.contexts[0].hardware_clock = ref_clock
+    sim.contexts[1].hardware_clock = client_clock
+
+    def main(ctx, comm):
+        alg = alg_factory()
+        result = yield from alg.measure_offset(
+            comm, ctx.hardware_clock, 0, 1
+        )
+        return (result, ctx.now)
+
+    values = sim.run(main).values
+    measurement, t_end = values[1]
+    truth = client_clock.read_raw(t_end) - ref_clock.read_raw(t_end)
+    return abs(measurement.offset - truth)
+
+
+class TestOffsetErrorBounds:
+    @given(
+        offset=st.floats(min_value=-100.0, max_value=100.0,
+                         allow_nan=False),
+        skew=st.floats(min_value=-1e-4, max_value=1e-4, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_skampi_error_below_half_rtt(self, offset, skew):
+        """Jitter-free symmetric network: the min-window midpoint is
+        essentially exact; half the RTT is a very loose upper bound."""
+        error = measure_error(offset, skew, lambda: SKaMPIOffset(5))
+        assert error <= LATENCY + 1e-9
+
+    @given(
+        offset=st.floats(min_value=-100.0, max_value=100.0,
+                         allow_nan=False),
+        skew=st.floats(min_value=-1e-4, max_value=1e-4, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mean_rtt_error_below_half_rtt(self, offset, skew):
+        error = measure_error(offset, skew, lambda: MeanRTTOffset(5))
+        assert error <= LATENCY + 1e-9

@@ -1,0 +1,128 @@
+"""Causality tests for the engine's deferred-execution gate.
+
+The regression these tests pin down: without the gate, a process running
+ahead of global simulated time reserved future NIC slots, and processes
+still executing "in the past" inherited multi-second delays from it.
+"""
+
+import pytest
+
+from repro.simmpi.network import Level, LinkParams, NetworkModel
+from tests.conftest import run_spmd
+
+
+def gap_network(gap=1e-6, latency=1e-6):
+    return NetworkModel(
+        name="gap",
+        levels={Level.REMOTE: LinkParams(latency=latency, bandwidth=1e12)},
+        o_send=0.0,
+        o_recv=0.0,
+        nic_gap=gap,
+    )
+
+
+class TestCausalityGate:
+    def test_runahead_does_not_poison_nic(self):
+        """A rank that sleeps far ahead then sends must not delay a rank
+        sending 'in the past'."""
+
+        def main(ctx, comm):
+            if comm.rank == 0:
+                # Runs far ahead, then sends to node 2.
+                yield from ctx.elapse(100.0)
+                yield from comm.send_raw(2, 100, None, 8)
+                return None
+            if comm.rank == 1:
+                # Sends to the same node at t ~ 0.
+                yield from ctx.elapse(1e-3)
+                yield from comm.send_raw(2, 101, None, 8)
+                return None
+            # Receiver on node 2.
+            msg_early = yield from comm.recv_raw(1, 101)
+            t_early = ctx.now
+            yield from comm.recv_raw(0, 100)
+            t_late = ctx.now
+            return (t_early, t_late)
+
+        _, res = run_spmd(main, num_nodes=3, ranks_per_node=1,
+                          network=gap_network())
+        t_early, t_late = res.values[2]
+        # Rank 1's message (sent at ~1 ms) must arrive at ~1 ms, NOT after
+        # rank 0's future NIC reservation at ~100 s.
+        assert t_early < 0.01
+        assert t_late > 100.0
+
+    def test_messages_never_arrive_before_sending(self):
+        def main(ctx, comm):
+            if comm.rank == 0:
+                yield from ctx.elapse(0.5)
+                yield from comm.send_raw(1, 9, ctx.now, 8)
+                return None
+            msg = yield from comm.recv_raw(0, 9)
+            return ctx.now - msg.payload
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=1,
+                          network=gap_network())
+        assert res.values[1] > 0
+
+    def test_gate_preserves_results_and_termination(self):
+        """A deep chain of mixed elapses/sends completes with the gate."""
+
+        def main(ctx, comm):
+            total = 0
+            for i in range(20):
+                yield from ctx.elapse(0.01 * ((comm.rank + i) % 3))
+                total = yield from comm.allreduce(1)
+            return total
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2,
+                          network=gap_network())
+        assert res.values == [4, 4, 4, 4]
+
+
+class TestCongestionJitter:
+    def _network(self, cj):
+        return NetworkModel(
+            name="congested",
+            levels={Level.REMOTE: LinkParams(latency=1e-6,
+                                             bandwidth=1e12)},
+            o_send=0.0,
+            o_recv=0.0,
+            nic_gap=0.5e-6,
+            congestion_jitter=cj,
+        )
+
+    def _burst_spread(self, cj, seed=0):
+        """All ranks of node 0 blast node 1; return arrival spread."""
+
+        def main(ctx, comm):
+            n = comm.size // 2
+            if ctx.node == 0:
+                yield from comm.send_raw(comm.rank + n, 5, None, 8)
+                return None
+            arrivals = []
+            yield from comm.recv_raw(comm.rank - n, 5)
+            return ctx.now
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=8,
+                          network=self._network(cj), seed=seed)
+        arrivals = [v for v in res.values if v is not None]
+        return max(arrivals) - min(arrivals)
+
+    def test_congestion_widens_burst_spread(self):
+        calm = self._burst_spread(0.0)
+        stormy = self._burst_spread(2e-6)
+        assert stormy > calm
+
+    def test_unqueued_message_unaffected(self):
+        def main(ctx, comm):
+            if comm.rank == 0:
+                yield from comm.send_raw(1, 5, None, 8)
+                return None
+            yield from comm.recv_raw(0, 5)
+            return ctx.now
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=1,
+                          network=self._network(5e-6))
+        # Single message, no backlog: latency + gap only.
+        assert res.values[1] == pytest.approx(1e-6 + 0.5e-6, abs=1e-9)

@@ -1,0 +1,162 @@
+"""Unit tests for communicators: translation, tags, split."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.simmpi.comm import MAX_USER_TAG, Communicator
+from tests.conftest import run_spmd
+
+
+class TestRankTranslation:
+    def test_world_identity(self):
+        def main(ctx, comm):
+            yield from ()
+            return (comm.rank, comm.global_rank(comm.rank))
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2)
+        assert all(r == g for r, g in res.values)
+
+    def test_out_of_range(self):
+        def main(ctx, comm):
+            yield from ()
+            try:
+                comm.global_rank(comm.size)
+            except CommunicatorError:
+                return "raised"
+            return "no"
+
+        _, res = run_spmd(main)
+        assert all(v == "raised" for v in res.values)
+
+    def test_comm_rank_of(self):
+        def main(ctx, comm):
+            yield from ()
+            return comm.comm_rank_of(comm.global_rank(1))
+
+        _, res = run_spmd(main)
+        assert all(v == 1 for v in res.values)
+
+    def test_nonmember_construction_rejected(self):
+        def main(ctx, comm):
+            yield from ()
+            try:
+                Communicator(ctx, [r for r in range(comm.size)
+                                   if r != ctx.rank], comm_id=5)
+            except CommunicatorError:
+                return "raised"
+            return "no"
+
+        _, res = run_spmd(main)
+        assert all(v == "raised" for v in res.values)
+
+
+class TestTags:
+    def test_user_tag_bounds(self):
+        def main(ctx, comm):
+            yield from ()
+            try:
+                comm._user_tag(MAX_USER_TAG)
+            except CommunicatorError:
+                return "raised"
+            return "no"
+
+        _, res = run_spmd(main)
+        assert all(v == "raised" for v in res.values)
+
+    def test_collective_tags_advance(self):
+        def main(ctx, comm):
+            yield from ()
+            a = comm.next_collective_tag()
+            b = comm.next_collective_tag()
+            return b - a
+
+        _, res = run_spmd(main)
+        assert all(v == 1 for v in res.values)
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def main(ctx, comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            total = yield from sub.allreduce(1)
+            return (sub.size, total, sub.rank)
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2)
+        for size, total, _ in res.values:
+            assert size == 2 and total == 2
+
+    def test_split_none_color(self):
+        def main(ctx, comm):
+            color = 0 if comm.rank == 0 else None
+            sub = yield from comm.split(color)
+            return sub is None
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2)
+        assert res.values[0] is False
+        assert all(res.values[1:])
+
+    def test_split_key_reorders(self):
+        def main(ctx, comm):
+            # Reverse the ordering within the new communicator.
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2)
+        # world rank 3 gets key -3 -> lowest -> sub rank 0
+        assert res.values == [3, 2, 1, 0]
+
+    def test_split_type_shared(self):
+        def main(ctx, comm):
+            sub = yield from comm.split_type("shared")
+            members = yield from sub.allgather(ctx.node)
+            return (sub.size, set(members))
+
+        _, res = run_spmd(main, num_nodes=3, ranks_per_node=2)
+        for rank, (size, nodes) in enumerate(res.values):
+            assert size == 2
+            assert len(nodes) == 1
+
+    def test_split_type_socket(self):
+        def main(ctx, comm):
+            sub = yield from comm.split_type("socket")
+            keys = yield from sub.allgather((ctx.node, ctx.socket))
+            return (sub.size, set(keys))
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=4)
+        for size, keys in res.values:
+            assert len(keys) == 1
+
+    def test_split_type_unknown(self):
+        def main(ctx, comm):
+            yield from ()
+            try:
+                gen = comm.split_type("bogus")
+                # split_type raises before yielding anything
+                next(gen)
+            except CommunicatorError:
+                return "raised"
+            return "no"
+
+        _, res = run_spmd(main)
+        assert all(v == "raised" for v in res.values)
+
+    def test_dup_preserves_group(self):
+        def main(ctx, comm):
+            dup = yield from comm.dup()
+            return (dup.group == comm.group, dup.comm_id != comm.comm_id)
+
+        _, res = run_spmd(main)
+        assert all(a and b for a, b in res.values)
+
+    def test_p2p_within_subcomm(self):
+        def main(ctx, comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                yield from sub.send(1, 3, payload=f"from{comm.rank}")
+                return None
+            msg = yield from sub.recv(0, 3)
+            return msg.payload
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2)
+        assert res.values[2] == "from0"
+        assert res.values[3] == "from1"

@@ -1,0 +1,36 @@
+"""Unit tests for message matching rules."""
+
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+
+
+def make_msg(source=1, tag=7):
+    return Message(
+        source=source,
+        dest=0,
+        tag=tag,
+        payload=None,
+        size=8,
+        send_time=0.0,
+        arrival=1.0,
+        seq=0,
+    )
+
+
+class TestMatching:
+    def test_exact_match(self):
+        assert make_msg(1, 7).matches(1, 7)
+
+    def test_source_mismatch(self):
+        assert not make_msg(1, 7).matches(2, 7)
+
+    def test_tag_mismatch(self):
+        assert not make_msg(1, 7).matches(1, 8)
+
+    def test_any_source(self):
+        assert make_msg(3, 7).matches(ANY_SOURCE, 7)
+
+    def test_any_tag(self):
+        assert make_msg(3, 7).matches(3, ANY_TAG)
+
+    def test_full_wildcard(self):
+        assert make_msg(9, 123).matches(ANY_SOURCE, ANY_TAG)

@@ -1,0 +1,99 @@
+"""Unit tests for the network model."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.network import Level, LinkParams, NetworkModel
+
+
+class TestLinkParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkParams(latency=-1.0, bandwidth=1e9)
+        with pytest.raises(ValueError):
+            LinkParams(latency=1e-6, bandwidth=0.0)
+        with pytest.raises(ValueError):
+            LinkParams(latency=1e-6, bandwidth=1e9, jitter_scale=-1.0)
+        with pytest.raises(ValueError):
+            LinkParams(latency=1e-6, bandwidth=1e9, outlier_prob=2.0)
+
+
+class TestLevelFallback:
+    def test_finer_levels_inherit_coarser(self):
+        model = NetworkModel(
+            levels={Level.REMOTE: LinkParams(latency=5e-6, bandwidth=1e9)}
+        )
+        for level in Level:
+            assert model.params_for(level).latency == 5e-6
+
+    def test_defined_levels_override(self):
+        model = NetworkModel(
+            levels={
+                Level.NODE: LinkParams(latency=1e-6, bandwidth=1e9),
+                Level.REMOTE: LinkParams(latency=5e-6, bandwidth=1e9),
+            }
+        )
+        assert model.params_for(Level.REMOTE).latency == 5e-6
+        assert model.params_for(Level.NODE).latency == 1e-6
+        # SOCKET/SELF fall back to the finest defined (NODE).
+        assert model.params_for(Level.SOCKET).latency == 1e-6
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(levels={})
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(
+                levels={Level.REMOTE: LinkParams(1e-6, 1e9)}, o_send=-1.0
+            )
+
+
+class TestDelay:
+    def _model(self, **kw):
+        return NetworkModel(
+            levels={Level.REMOTE: LinkParams(latency=2e-6, bandwidth=1e9, **kw)}
+        )
+
+    def test_deterministic_without_jitter(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        d = model.delay(Level.REMOTE, 1000, rng)
+        assert d == pytest.approx(2e-6 + 1000 / 1e9)
+
+    def test_size_scales_delay(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        small = model.delay(Level.REMOTE, 8, rng)
+        big = model.delay(Level.REMOTE, 1 << 20, rng)
+        assert big > small
+
+    def test_jitter_is_nonnegative_addition(self):
+        model = self._model(jitter_scale=1e-6)
+        rng = np.random.default_rng(0)
+        delays = [model.delay(Level.REMOTE, 8, rng) for _ in range(1000)]
+        base = 2e-6 + 8 / 1e9
+        assert min(delays) >= base
+        assert np.mean(delays) == pytest.approx(base + 1e-6, rel=0.15)
+
+    def test_outliers_appear_at_configured_rate(self):
+        model = self._model(outlier_prob=0.1, outlier_scale=100e-6)
+        rng = np.random.default_rng(1)
+        delays = np.array(
+            [model.delay(Level.REMOTE, 8, rng) for _ in range(5000)]
+        )
+        frac_large = float(np.mean(delays > 20e-6))
+        assert 0.05 < frac_large < 0.15
+
+    def test_negative_size_rejected(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.delay(Level.REMOTE, -1, np.random.default_rng(0))
+
+    def test_expected_delay_matches_empirical(self):
+        model = self._model(jitter_scale=0.5e-6)
+        rng = np.random.default_rng(2)
+        delays = [model.delay(Level.REMOTE, 64, rng) for _ in range(20000)]
+        assert np.mean(delays) == pytest.approx(
+            model.expected_delay(Level.REMOTE, 64), rel=0.05
+        )

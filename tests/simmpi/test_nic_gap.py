@@ -1,0 +1,95 @@
+"""Tests for per-node NIC serialization (the Fig. 7/8 contention model)."""
+
+import pytest
+
+from repro.simmpi.network import Level, LinkParams, NetworkModel
+from tests.conftest import run_spmd
+
+
+def gap_network(gap: float) -> NetworkModel:
+    return NetworkModel(
+        name="gap-test",
+        levels={Level.REMOTE: LinkParams(latency=1e-6, bandwidth=1e12)},
+        o_send=0.0,
+        o_recv=0.0,
+        nic_gap=gap,
+    )
+
+
+def fanin_main(ctx, comm):
+    """Ranks 1..n-1 all send to rank 0 simultaneously."""
+    if comm.rank == 0:
+        arrivals = []
+        for _ in range(comm.size - 1):
+            yield from comm.recv_raw(None, 999999)
+            arrivals.append(ctx.now)
+        return arrivals
+    yield from comm.send_raw(0, 999999, None, 8)
+    return None
+
+
+class TestNicGap:
+    def test_ingress_serializes_concurrent_arrivals(self):
+        gap = 2e-6
+        _, res = run_spmd(fanin_main, num_nodes=5, ranks_per_node=1,
+                          network=gap_network(gap))
+        arrivals = sorted(res.values[0])
+        # Four simultaneous senders: consecutive deliveries are at least
+        # one gap apart at rank 0's node.
+        diffs = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(d >= gap * 0.99 for d in diffs)
+
+    def test_zero_gap_no_serialization(self):
+        _, res = run_spmd(fanin_main, num_nodes=5, ranks_per_node=1,
+                          network=gap_network(0.0))
+        arrivals = sorted(res.values[0])
+        spread = arrivals[-1] - arrivals[0]
+        assert spread < 1e-9  # identical latency, no jitter, no gap
+
+    def test_intra_node_traffic_unaffected(self):
+        gap = 5e-6
+
+        def main(ctx, comm):
+            # All ranks on ONE node: NIC gap must not apply.
+            if comm.rank == 0:
+                ts = []
+                for _ in range(comm.size - 1):
+                    yield from comm.recv_raw(None, 999999)
+                    ts.append(ctx.now)
+                return ts
+            yield from comm.send_raw(0, 999999, None, 8)
+            return None
+
+        net = NetworkModel(
+            name="gap-test",
+            levels={
+                Level.NODE: LinkParams(latency=1e-6, bandwidth=1e12),
+                Level.REMOTE: LinkParams(latency=1e-6, bandwidth=1e12),
+            },
+            o_send=0.0,
+            o_recv=0.0,
+            nic_gap=gap,
+        )
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=5, network=net)
+        arrivals = sorted(res.values[0])
+        assert arrivals[-1] - arrivals[0] < gap
+
+    def test_egress_rate_limits_one_sender(self):
+        gap = 3e-6
+
+        def main(ctx, comm):
+            if comm.rank == 0:
+                for i in range(4):
+                    yield from comm.send_raw(1, 999999, i, 8)
+                return None
+            arrivals = []
+            for _ in range(4):
+                yield from comm.recv_raw(0, 999999)
+                arrivals.append(ctx.now)
+            return arrivals
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=1,
+                          network=gap_network(gap))
+        arrivals = res.values[1]
+        diffs = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(d >= gap * 0.99 for d in diffs)

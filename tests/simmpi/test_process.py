@@ -1,0 +1,87 @@
+"""Unit tests for the process context (clock reads, waits, p2p helpers)."""
+
+import pytest
+
+from repro.simtime.hardware import HardwareClock
+from repro.simtime.drift import ConstantDrift
+from repro.sync.clocks import GlobalClockLM
+from repro.sync.linear_model import LinearDriftModel
+from tests.conftest import PERFECT_TIME, run_spmd
+
+
+class TestClockReads:
+    def test_wtime_reflects_local_clock(self):
+        def main(ctx, comm):
+            yield from ctx.elapse(2.0)
+            return (ctx.wtime(), ctx.hardware_clock.read(ctx.now))
+
+        _, res = run_spmd(main, time_source=PERFECT_TIME)
+        for wtime, direct in res.values:
+            assert wtime == pytest.approx(direct, abs=1e-9)
+
+    def test_read_overhead_charged(self):
+        spec = PERFECT_TIME.with_(read_overhead=1e-3)
+
+        def main(ctx, comm):
+            yield from ()
+            before = ctx.now
+            ctx.read_clock(ctx.hardware_clock)
+            return ctx.now - before
+
+        _, res = run_spmd(main, time_source=spec)
+        assert all(v == pytest.approx(1e-3) for v in res.values)
+
+
+class TestWaitUntilClock:
+    def test_wait_reaches_reading(self):
+        def main(ctx, comm):
+            target = ctx.wtime() + 0.5
+            yield from ctx.wait_until_clock(ctx.hardware_clock, target)
+            return ctx.wtime() - target
+
+        _, res = run_spmd(main, time_source=PERFECT_TIME)
+        for lateness in res.values:
+            assert 0.0 <= lateness < 1e-6  # within one poll interval
+
+    def test_wait_on_global_clock_with_skew(self):
+        def main(ctx, comm):
+            clk = GlobalClockLM(
+                HardwareClock(offset=10.0, drift=ConstantDrift(1e-4)),
+                LinearDriftModel(slope=5e-5, intercept=2.0),
+            )
+            target = clk.read(ctx.now) + 1.0
+            yield from ctx.wait_until_clock(clk, target)
+            return clk.read(ctx.now) - target
+
+        _, res = run_spmd(main, time_source=PERFECT_TIME)
+        for lateness in res.values:
+            assert 0.0 <= lateness < 1e-5
+
+    def test_past_deadline_returns_immediately(self):
+        def main(ctx, comm):
+            yield from ctx.elapse(1.0)
+            before = ctx.now
+            yield from ctx.wait_until_clock(ctx.hardware_clock, 0.5)
+            return ctx.now - before
+
+        _, res = run_spmd(main, time_source=PERFECT_TIME)
+        assert all(v == 0.0 for v in res.values)
+
+
+class TestP2PHelpers:
+    def test_sendrecv_exchange(self):
+        def main(ctx, comm):
+            partner = comm.rank ^ 1
+            msg = yield from comm.sendrecv(partner, 4, payload=comm.rank)
+            return msg.payload
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=2)
+        assert res.values == [1, 0]
+
+    def test_compute_alias(self):
+        def main(ctx, comm):
+            yield from ctx.compute(0.25)
+            return ctx.now
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=1)
+        assert res.values[0] >= 0.25

@@ -1,0 +1,89 @@
+"""Unit tests for the nonblocking p2p layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simmpi.request import irecv, isend, waitall
+from tests.conftest import run_spmd
+
+
+class TestIsend:
+    def test_isend_completes_immediately(self):
+        def main(ctx, comm):
+            if ctx.rank == 0:
+                req = yield from isend(ctx, 1, 5, payload="x")
+                return req.complete
+            msg = yield from ctx.recv(0, 5)
+            return msg.payload
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=2)
+        assert res.values == [True, "x"]
+
+    def test_wait_on_send_request_returns_none(self):
+        def main(ctx, comm):
+            if ctx.rank == 0:
+                req = yield from isend(ctx, 1, 5)
+                out = yield from req.wait()
+                return out
+            yield from ctx.recv(0, 5)
+            return None
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=2)
+        assert res.values[0] is None
+
+
+class TestIrecv:
+    def test_irecv_wait_gets_message(self):
+        def main(ctx, comm):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 9, payload=123)
+                return None
+            req = irecv(ctx, source=0, tag=9)
+            assert not req.test()
+            msg = yield from req.wait()
+            assert req.test()
+            return msg.payload
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=2)
+        assert res.values[1] == 123
+
+    def test_double_wait_returns_cached(self):
+        def main(ctx, comm):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 9, payload="once")
+                return None
+            req = irecv(ctx, source=0, tag=9)
+            first = yield from req.wait()
+            second = yield from req.wait()
+            return first is second
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=2)
+        assert res.values[1] is True
+
+    def test_waitall_in_order(self):
+        def main(ctx, comm):
+            if ctx.rank == 0:
+                for i in range(3):
+                    yield from ctx.send(1, 10 + i, payload=i)
+                return None
+            reqs = [irecv(ctx, source=0, tag=10 + i) for i in range(3)]
+            msgs = yield from waitall(reqs)
+            return [m.payload for m in msgs]
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=2)
+        assert res.values[1] == [0, 1, 2]
+
+    def test_wait_on_bad_kind(self):
+        def main(ctx, comm):
+            yield from ()
+            req = irecv(ctx)
+            req.kind = "bogus"
+            try:
+                gen = req.wait()
+                next(gen)
+            except SimulationError:
+                return "raised"
+            return "no"
+
+        _, res = run_spmd(main, num_nodes=1, ranks_per_node=1)
+        assert res.values[0] == "raised"

@@ -1,0 +1,39 @@
+"""Unit tests for the Clock protocol helpers."""
+
+import pytest
+
+from repro.simtime.base import MICROSECOND, NANOSECOND, SECOND, quantize
+from repro.simtime.hardware import HardwareClock
+
+
+class TestUnits:
+    def test_magnitudes(self):
+        assert SECOND == 1.0
+        assert MICROSECOND == pytest.approx(1e-6)
+        assert NANOSECOND == pytest.approx(1e-9)
+
+
+class TestQuantize:
+    def test_floors_to_multiple(self):
+        assert quantize(1.2345e-6, 1e-6) == pytest.approx(1e-6)
+
+    def test_zero_granularity_noop(self):
+        assert quantize(3.14159, 0.0) == 3.14159
+
+    def test_exact_multiple_unchanged(self):
+        assert quantize(5e-6, 1e-6) == pytest.approx(5e-6)
+
+    def test_floor_not_round(self):
+        # 1.9 us with 1 us granularity floors to 1 us (timer semantics).
+        assert quantize(1.9e-6, 1e-6) == pytest.approx(1e-6)
+
+
+class TestClockProtocol:
+    def test_callable_shorthand(self):
+        clk = HardwareClock(offset=2.0)
+        assert clk(3.0) == clk.read(3.0)
+
+    def test_default_properties(self):
+        clk = HardwareClock()
+        assert clk.granularity == 0.0
+        assert clk.read_overhead == 0.0

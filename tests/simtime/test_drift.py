@@ -1,0 +1,112 @@
+"""Unit tests for the drift (skew) generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simtime.drift import ConstantDrift, RandomWalkDrift, SinusoidalDrift
+
+
+class TestConstantDrift:
+    def test_returns_fixed_skew(self):
+        d = ConstantDrift(5e-6)
+        assert d.skew_for_segment(0) == 5e-6
+        assert d.skew_for_segment(1000) == 5e-6
+
+    def test_zero_default(self):
+        assert ConstantDrift().skew_for_segment(3) == 0.0
+
+    def test_rejects_out_of_range_skew(self):
+        with pytest.raises(ValueError):
+            ConstantDrift(1.0)
+        with pytest.raises(ValueError):
+            ConstantDrift(-1.5)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            ConstantDrift(0.0).skew_for_segment(-1)
+
+
+class TestRandomWalkDrift:
+    def _make(self, seed=0, **kw):
+        kw.setdefault("initial_skew", 1e-6)
+        kw.setdefault("sigma", 1e-8)
+        return RandomWalkDrift(rng=np.random.default_rng(seed), **kw)
+
+    def test_starts_at_initial_skew(self):
+        d = self._make()
+        assert d.skew_for_segment(0) == 1e-6
+
+    def test_deterministic_per_index(self):
+        d = self._make()
+        a = d.skew_for_segment(500)
+        b = d.skew_for_segment(500)
+        assert a == b
+
+    def test_same_seed_same_walk(self):
+        d1, d2 = self._make(7), self._make(7)
+        for i in (0, 3, 10, 99):
+            assert d1.skew_for_segment(i) == d2.skew_for_segment(i)
+
+    def test_out_of_order_queries_consistent(self):
+        d1, d2 = self._make(3), self._make(3)
+        late_first = d1.skew_for_segment(50)
+        d2.skew_for_segment(10)
+        assert d2.skew_for_segment(50) == late_first
+
+    def test_respects_excursion_bound(self):
+        d = self._make(seed=2, sigma=5e-7, max_excursion=1e-6)
+        values = [d.skew_for_segment(i) for i in range(2000)]
+        assert max(values) <= 1e-6 + 1e-6 + 1e-12
+        assert min(values) >= 1e-6 - 1e-6 - 1e-12
+
+    def test_zero_sigma_is_constant(self):
+        d = self._make(sigma=0.0)
+        assert d.skew_for_segment(100) == d.skew_for_segment(0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            self._make(sigma=-1.0)
+
+    def test_rejects_index_beyond_cap(self):
+        d = self._make(max_segments=10)
+        with pytest.raises(ValueError):
+            d.skew_for_segment(10)
+
+    def test_walk_actually_moves(self):
+        d = self._make(seed=1, sigma=1e-7)
+        assert d.skew_for_segment(100) != d.skew_for_segment(0)
+
+
+class TestSinusoidalDrift:
+    def test_oscillates_around_mean(self):
+        d = SinusoidalDrift(
+            mean_skew=2e-6, amplitude=1e-6, period=100.0, segment_length=1.0
+        )
+        values = [d.skew_for_segment(i) for i in range(100)]
+        assert abs(np.mean(values) - 2e-6) < 1e-8
+        assert max(values) <= 3e-6 + 1e-12
+        assert min(values) >= 1e-6 - 1e-12
+
+    def test_period_repeats(self):
+        d = SinusoidalDrift(0.0, 1e-6, period=50.0, segment_length=1.0)
+        assert d.skew_for_segment(0) == pytest.approx(d.skew_for_segment(50))
+
+    def test_phase_shift(self):
+        base = SinusoidalDrift(0.0, 1e-6, 100.0, 1.0, phase=0.0)
+        shifted = SinusoidalDrift(0.0, 1e-6, 100.0, 1.0, phase=math.pi)
+        assert base.skew_for_segment(0) == pytest.approx(
+            -shifted.skew_for_segment(0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinusoidalDrift(0.0, 1e-6, period=0.0, segment_length=1.0)
+        with pytest.raises(ValueError):
+            SinusoidalDrift(0.0, -1e-6, period=10.0, segment_length=1.0)
+        with pytest.raises(ValueError):
+            SinusoidalDrift(0.0, 1e-6, period=10.0, segment_length=0.0)
+        d = SinusoidalDrift(0.0, 1e-6, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            d.skew_for_segment(-2)

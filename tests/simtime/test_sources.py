@@ -1,0 +1,93 @@
+"""Unit tests for time-source presets and clock factories."""
+
+import numpy as np
+import pytest
+
+from repro.simtime.drift import RandomWalkDrift, SinusoidalDrift
+from repro.simtime.sources import (
+    CLOCK_GETTIME,
+    GETTIMEOFDAY,
+    MPI_WTIME,
+    TimeSourceSpec,
+    make_clock,
+    make_node_clocks,
+)
+
+
+class TestPresets:
+    def test_clock_gettime_is_monotonic_style(self):
+        assert CLOCK_GETTIME.offset_is_uniform
+        assert CLOCK_GETTIME.offset_scale > 1000.0  # boot-time scale
+        assert CLOCK_GETTIME.granularity == 1e-9
+
+    def test_gettimeofday_is_ntp_style(self):
+        assert not GETTIMEOFDAY.offset_is_uniform
+        assert GETTIMEOFDAY.offset_scale < 1e-3
+        assert GETTIMEOFDAY.granularity == 1e-6
+
+    def test_mpi_wtime_aliases_monotonic(self):
+        assert MPI_WTIME.offset_is_uniform == CLOCK_GETTIME.offset_is_uniform
+        assert MPI_WTIME.name == "MPI_Wtime"
+
+    def test_with_replaces_fields(self):
+        spec = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+        assert spec.skew_walk_sigma == 1e-9
+        assert spec.name == CLOCK_GETTIME.name
+
+
+class TestMakeClock:
+    def test_monotonic_offsets_positive(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            clk = make_clock(CLOCK_GETTIME, rng)
+            assert clk.offset >= 0.0
+
+    def test_ntp_offsets_small(self):
+        rng = np.random.default_rng(0)
+        offsets = [make_clock(GETTIMEOFDAY, rng).offset for _ in range(50)]
+        assert max(abs(o) for o in offsets) < 1e-3
+
+    def test_random_walk_drift_kind(self):
+        rng = np.random.default_rng(0)
+        clk = make_clock(CLOCK_GETTIME, rng)
+        assert isinstance(clk.drift, RandomWalkDrift)
+
+    def test_sinusoidal_drift_kind(self):
+        rng = np.random.default_rng(0)
+        spec = CLOCK_GETTIME.with_(drift_kind="sinusoidal")
+        clk = make_clock(spec, rng)
+        assert isinstance(clk.drift, SinusoidalDrift)
+
+    def test_unknown_drift_kind_rejected(self):
+        rng = np.random.default_rng(0)
+        spec = CLOCK_GETTIME.with_(drift_kind="nope")
+        with pytest.raises(ValueError):
+            make_clock(spec, rng)
+
+
+class TestMakeNodeClocks:
+    def test_one_clock_per_node(self):
+        clocks = make_node_clocks(5, CLOCK_GETTIME, seed=1)
+        assert len(clocks) == 5
+        assert len({id(c) for c in clocks}) == 5
+
+    def test_deterministic_by_seed(self):
+        a = make_node_clocks(3, CLOCK_GETTIME, seed=9)
+        b = make_node_clocks(3, CLOCK_GETTIME, seed=9)
+        for ca, cb in zip(a, b):
+            assert ca.offset == cb.offset
+            assert ca.read_raw(5.0) == cb.read_raw(5.0)
+
+    def test_different_seeds_differ(self):
+        a = make_node_clocks(3, CLOCK_GETTIME, seed=1)
+        b = make_node_clocks(3, CLOCK_GETTIME, seed=2)
+        assert any(ca.offset != cb.offset for ca, cb in zip(a, b))
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ValueError):
+            make_node_clocks(0, CLOCK_GETTIME)
+
+    def test_accepts_generator(self):
+        rng = np.random.default_rng(3)
+        clocks = make_node_clocks(2, GETTIMEOFDAY, seed=rng)
+        assert len(clocks) == 2

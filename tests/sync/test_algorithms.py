@@ -1,0 +1,111 @@
+"""Behavioural tests for the synchronization algorithms (JK/HCA*/HCA3).
+
+Each algorithm must produce, on every rank, a global clock whose readings
+agree with rank 0's within a small error, for power-of-two and
+non-power-of-two process counts.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import ground_truth_accuracy
+from repro.cluster.netmodels import ideal_network, infiniband_qdr
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync import (
+    HCA2Sync,
+    HCA3Sync,
+    HCASync,
+    JKSync,
+    SKaMPIOffset,
+)
+from tests.conftest import run_spmd
+
+ALGOS = {
+    "jk": JKSync,
+    "hca": HCASync,
+    "hca2": HCA2Sync,
+    "hca3": HCA3Sync,
+}
+
+#: Quiet clocks so accuracy assertions are tight.
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+def sync_and_eval(cls, nodes=4, rpn=1, seed=0, network=None,
+                  nfitpoints=12, spacing=1e-3, **alg_kw):
+    def main(ctx, comm):
+        alg = cls(offset_alg=SKaMPIOffset(8), nfitpoints=nfitpoints,
+                  fitpoint_spacing=spacing, **alg_kw)
+        t0 = ctx.now
+        clk = yield from alg.sync_clocks(comm, ctx.hardware_clock)
+        return (clk, ctx.now - t0)
+
+    sim, res = run_spmd(main, num_nodes=nodes, ranks_per_node=rpn,
+                        network=network or infiniband_qdr(),
+                        time_source=QUIET, seed=seed)
+    clocks = [v[0] for v in res.values]
+    duration = max(v[1] for v in res.values)
+    return clocks, duration
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 7, 8])
+    def test_global_clocks_agree(self, name, nprocs):
+        clocks, duration = sync_and_eval(
+            ALGOS[name], nodes=nprocs, rpn=1, seed=1
+        )
+        err = ground_truth_accuracy(clocks, duration + 0.01)
+        assert err < 5e-6, f"{name} at p={nprocs}: {err * 1e6:.2f} us"
+
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_still_accurate_after_wait(self, name):
+        clocks, duration = sync_and_eval(ALGOS[name], nodes=4, seed=2,
+                                         nfitpoints=20, spacing=5e-3)
+        err = ground_truth_accuracy(clocks, duration + 5.0)
+        assert err < 30e-6
+
+    @pytest.mark.parametrize("name", sorted(ALGOS))
+    def test_rank0_clock_is_identity(self, name):
+        clocks, duration = sync_and_eval(ALGOS[name], nodes=2, seed=3)
+        t = duration + 1.0
+        # Rank 0 is the time source: its global clock equals its hw clock.
+        from repro.sync.clocks import base_hardware_clock
+
+        base = base_hardware_clock(clocks[0])
+        assert clocks[0].read(t) == pytest.approx(base.read(t), abs=1e-9)
+
+    def test_single_process_noop(self):
+        clocks, duration = sync_and_eval(HCA3Sync, nodes=1, rpn=1)
+        assert duration < 1e-3
+
+
+class TestDuration:
+    def test_jk_slower_than_hca3(self):
+        _, d_jk = sync_and_eval(JKSync, nodes=8, seed=4)
+        _, d_hca3 = sync_and_eval(HCA3Sync, nodes=8, seed=4)
+        # JK: 7 sequential clients; HCA3: 3 rounds.
+        assert d_jk > 1.5 * d_hca3
+
+    def test_hca3_scales_logarithmically(self):
+        _, d8 = sync_and_eval(HCA3Sync, nodes=8, seed=5)
+        _, d16 = sync_and_eval(HCA3Sync, nodes=16, seed=5)
+        # log2(16)/log2(8) = 4/3; allow generous slack.
+        assert d16 < 2.0 * d8
+
+    def test_jk_scales_linearly(self):
+        _, d4 = sync_and_eval(JKSync, nodes=4, seed=6)
+        _, d8 = sync_and_eval(JKSync, nodes=8, seed=6)
+        assert d8 > 1.6 * d4
+
+
+class TestLabels:
+    def test_labels_roundtrip_structure(self):
+        alg = HCA3Sync(offset_alg=SKaMPIOffset(100), nfitpoints=1000,
+                       recompute_intercept=True)
+        assert alg.label() == (
+            "hca3/recompute_intercept/1000/skampi_offset/100"
+        )
+
+    def test_label_without_recompute(self):
+        alg = JKSync(offset_alg=SKaMPIOffset(20), nfitpoints=1000)
+        assert alg.label() == "jk/1000/skampi_offset/20"

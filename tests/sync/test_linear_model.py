@@ -1,0 +1,116 @@
+"""Unit tests for linear drift models (fit, compose, invert)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SyncError
+from repro.sync.linear_model import LinearDriftModel
+
+
+class TestFit:
+    def test_exact_line_recovered(self):
+        x = np.linspace(0.0, 10.0, 50)
+        y = 3e-6 * x + 0.5
+        m = LinearDriftModel.fit(x, y)
+        assert m.slope == pytest.approx(3e-6, rel=1e-9)
+        assert m.intercept == pytest.approx(0.5, rel=1e-9)
+
+    def test_large_timestamps_numerically_stable(self):
+        # clock_gettime-scale x values (tens of thousands of seconds).
+        x = 50_000.0 + np.linspace(0.0, 1.0, 100)
+        y = 1e-5 * x - 0.123
+        m = LinearDriftModel.fit(x, y)
+        assert m.slope == pytest.approx(1e-5, rel=1e-6)
+        assert m.offset_at(50_000.5) == pytest.approx(
+            1e-5 * 50_000.5 - 0.123, abs=1e-12
+        )
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0.0, 100.0, 200)
+        y = -2e-6 * x + 1e-3 + rng.normal(0.0, 1e-7, x.size)
+        m = LinearDriftModel.fit(x, y)
+        assert m.slope == pytest.approx(-2e-6, abs=5e-9)
+
+    def test_single_point_constant_model(self):
+        m = LinearDriftModel.fit([1.0], [0.25])
+        assert m.slope == 0.0
+        assert m.intercept == 0.25
+
+    def test_identical_timestamps_constant_model(self):
+        m = LinearDriftModel.fit([2.0, 2.0, 2.0], [1.0, 3.0, 5.0])
+        assert m.slope == 0.0
+        assert m.intercept == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SyncError):
+            LinearDriftModel.fit([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SyncError):
+            LinearDriftModel.fit([1.0, 2.0], [1.0])
+
+
+class TestApply:
+    def test_apply_subtracts_predicted_offset(self):
+        m = LinearDriftModel(slope=1e-5, intercept=2.0)
+        t = 100.0
+        assert m.apply(t) == pytest.approx(t - (1e-5 * t + 2.0))
+
+    def test_apply_inverse_roundtrip(self):
+        m = LinearDriftModel(slope=-3e-6, intercept=0.7)
+        for t in (0.0, 1.0, 5e4):
+            assert m.apply_inverse(m.apply(t)) == pytest.approx(t, rel=1e-12)
+
+    def test_noninvertible_slope(self):
+        m = LinearDriftModel(slope=1.0, intercept=0.0)
+        with pytest.raises(SyncError):
+            m.apply_inverse(1.0)
+
+
+class TestCompose:
+    def test_compose_equals_function_composition(self):
+        outer = LinearDriftModel(slope=2e-6, intercept=0.1)
+        inner = LinearDriftModel(slope=-1e-6, intercept=0.3)
+        merged = outer.compose(inner)
+        for t in (0.0, 10.0, 12345.6):
+            assert merged.apply(t) == pytest.approx(
+                outer.apply(inner.apply(t)), rel=1e-12, abs=1e-12
+            )
+
+    def test_compose_with_zero_is_identity(self):
+        m = LinearDriftModel(slope=5e-6, intercept=-0.2)
+        assert m.compose(LinearDriftModel.ZERO) == m
+        z = LinearDriftModel.ZERO.compose(m)
+        assert z.slope == pytest.approx(m.slope)
+        assert z.intercept == pytest.approx(m.intercept)
+
+    def test_compose_associative(self):
+        a = LinearDriftModel(1e-6, 0.1)
+        b = LinearDriftModel(-2e-6, 0.2)
+        c = LinearDriftModel(3e-6, -0.3)
+        left = a.compose(b).compose(c)
+        right = a.compose(b.compose(c))
+        assert left.slope == pytest.approx(right.slope, rel=1e-12)
+        assert left.intercept == pytest.approx(right.intercept, rel=1e-12)
+
+
+class TestUtilities:
+    def test_with_intercept(self):
+        m = LinearDriftModel(1e-6, 5.0).with_intercept(7.0)
+        assert m == LinearDriftModel(1e-6, 7.0)
+
+    def test_r_squared_perfect(self):
+        x = np.linspace(0, 10, 20)
+        assert LinearDriftModel.r_squared(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_r_squared_poor_for_curvature(self):
+        x = np.linspace(0, 10, 50)
+        y = (x - 5.0) ** 2
+        assert LinearDriftModel.r_squared(x, y) < 0.3
+
+    def test_r_squared_constant_series(self):
+        assert LinearDriftModel.r_squared([1, 2, 3], [5, 5, 5]) == 1.0
+
+    def test_as_tuple(self):
+        assert LinearDriftModel(1.5, 2.5).as_tuple() == (1.5, 2.5)

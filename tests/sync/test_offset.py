@@ -1,0 +1,135 @@
+"""Unit tests for the clock-offset algorithms (SKaMPI, Mean-RTT)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.netmodels import ideal_network
+from repro.errors import SyncError
+from repro.sync.offset import ClockOffset, MeanRTTOffset, SKaMPIOffset
+from tests.conftest import PERFECT_TIME, run_spmd
+
+
+def measure_with(alg_factory, offset_scale=500e-6, seed=0, network=None,
+                 pair=(0, 1)):
+    """Run one offset measurement between ranks pair=(ref, client)."""
+    spec = PERFECT_TIME.with_(offset_scale=offset_scale, name="t")
+
+    def main(ctx, comm):
+        alg = main.algs.setdefault(ctx.rank, alg_factory())
+        if comm.rank in pair:
+            result = yield from alg.measure_offset(
+                comm, ctx.hardware_clock, pair[0], pair[1]
+            )
+            return result
+        return None
+
+    main.algs = {}
+    sim, res = run_spmd(
+        main,
+        num_nodes=2,
+        ranks_per_node=1,
+        network=network or ideal_network(latency=2e-6),
+        time_source=spec,
+        seed=seed,
+    )
+    return sim, res
+
+
+class TestSKaMPIOffset:
+    def test_client_returns_offset_ref_returns_none(self):
+        sim, res = measure_with(lambda: SKaMPIOffset(10))
+        assert res.values[0] is None
+        assert isinstance(res.values[1], ClockOffset)
+
+    def test_estimates_true_offset(self):
+        sim, res = measure_with(lambda: SKaMPIOffset(10), seed=3)
+        measured = res.values[1].offset
+        truth = sim.clocks[1].read_raw(0.0) - sim.clocks[0].read_raw(0.0)
+        # Jitter-free network: the estimate is essentially exact.
+        assert measured == pytest.approx(truth, abs=1e-7)
+
+    def test_error_bounded_by_half_rtt_with_jitter(self, jitter_network):
+        errors = []
+        for seed in range(5):
+            sim, res = measure_with(
+                lambda: SKaMPIOffset(20), seed=seed, network=jitter_network
+            )
+            truth = sim.clocks[1].read_raw(0.0) - sim.clocks[0].read_raw(0.0)
+            errors.append(abs(res.values[1].offset - truth))
+        # Half of a ~4 us RTT is a very loose bound; min-filtering does
+        # much better in practice.
+        assert max(errors) < 2e-6
+
+    def test_timestamp_is_recent_client_reading(self):
+        sim, res = measure_with(lambda: SKaMPIOffset(5))
+        ts = res.values[1].timestamp
+        client_clock = sim.clocks[1]
+        # Timestamp must correspond to some recent true time (>= 0).
+        assert ts >= client_clock.read_raw(0.0)
+
+    def test_wrong_rank_raises(self):
+        def main(ctx, comm):
+            alg = SKaMPIOffset(2)
+            if comm.rank == 2:
+                try:
+                    yield from alg.measure_offset(
+                        comm, ctx.hardware_clock, 0, 1
+                    )
+                except SyncError:
+                    return "raised"
+            elif comm.rank in (0, 1):
+                yield from alg.measure_offset(comm, ctx.hardware_clock, 0, 1)
+            return None
+
+        _, res = run_spmd(main, num_nodes=3, ranks_per_node=1,
+                          network=ideal_network(), time_source=PERFECT_TIME)
+        assert res.values[2] == "raised"
+
+    def test_rejects_zero_exchanges(self):
+        with pytest.raises(SyncError):
+            SKaMPIOffset(0)
+
+    def test_label(self):
+        assert SKaMPIOffset(25).label() == "skampi_offset/25"
+
+
+class TestMeanRTTOffset:
+    def test_estimates_true_offset(self):
+        sim, res = measure_with(lambda: MeanRTTOffset(10), seed=1)
+        measured = res.values[1].offset
+        truth = sim.clocks[1].read_raw(0.0) - sim.clocks[0].read_raw(0.0)
+        assert measured == pytest.approx(truth, abs=1e-6)
+
+    def test_rtt_cached_per_pair(self):
+        spec = PERFECT_TIME.with_(offset_scale=1e-4)
+
+        def main(ctx, comm):
+            alg = MeanRTTOffset(4, rtt_pingpongs=6)
+            if comm.rank in (0, 1):
+                yield from alg.measure_offset(comm, ctx.hardware_clock, 0, 1)
+                before = len(alg._rtt_cache)
+                yield from alg.measure_offset(comm, ctx.hardware_clock, 0, 1)
+                return (before, len(alg._rtt_cache))
+            return None
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=1,
+                          network=ideal_network(), time_source=spec)
+        assert res.values[1] == (1, 1)
+
+    def test_validation(self):
+        with pytest.raises(SyncError):
+            MeanRTTOffset(5, rtt_pingpongs=0)
+
+    def test_skampi_beats_mean_rtt_under_jitter(self, jitter_network):
+        """The paper's observation: min-filtering beats averaging."""
+        sk_err, mr_err = [], []
+        for seed in range(8):
+            sim, res = measure_with(lambda: SKaMPIOffset(15), seed=seed,
+                                    network=jitter_network)
+            truth = sim.clocks[1].read_raw(0.0) - sim.clocks[0].read_raw(0.0)
+            sk_err.append(abs(res.values[1].offset - truth))
+            sim, res = measure_with(lambda: MeanRTTOffset(15), seed=seed,
+                                    network=jitter_network)
+            truth = sim.clocks[1].read_raw(0.0) - sim.clocks[0].read_raw(0.0)
+            mr_err.append(abs(res.values[1].offset - truth))
+        assert np.mean(sk_err) < np.mean(mr_err)

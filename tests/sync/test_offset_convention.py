@@ -1,0 +1,65 @@
+"""Sign-convention tests: offset = client - reference, everywhere.
+
+A wrong sign anywhere in the stack would still often "work" (the fit just
+flips), so these tests pin the convention explicitly with asymmetric
+ground truth.
+"""
+
+import pytest
+
+from repro.cluster.netmodels import ideal_network
+from repro.sync.clocks import GlobalClockLM
+from repro.sync.linear_model import LinearDriftModel
+from repro.sync.offset import MeanRTTOffset, SKaMPIOffset
+from tests.conftest import PERFECT_TIME, run_spmd
+
+
+def measure(alg_factory, client_ahead: bool, seed=0):
+    """Client clock deliberately ahead (or behind) the reference."""
+
+    def main(ctx, comm):
+        # Rank 1 (client) gets +1 s or -1 s via a wrapper model.
+        shift = -1.0 if client_ahead else 1.0  # apply() subtracts
+        if comm.rank == 1:
+            clock = GlobalClockLM(
+                ctx.hardware_clock, LinearDriftModel(0.0, shift)
+            )
+        else:
+            clock = ctx.hardware_clock
+        alg = alg_factory()
+        result = yield from alg.measure_offset(comm, clock, 0, 1)
+        return result
+
+    _, res = run_spmd(main, num_nodes=2, ranks_per_node=1,
+                      network=ideal_network(latency=1e-6),
+                      time_source=PERFECT_TIME, seed=seed)
+    return res.values[1]
+
+
+class TestSignConvention:
+    @pytest.mark.parametrize("alg_factory", [
+        lambda: SKaMPIOffset(8),
+        lambda: MeanRTTOffset(8),
+    ])
+    def test_client_ahead_positive_offset(self, alg_factory):
+        measurement = measure(alg_factory, client_ahead=True)
+        assert measurement.offset == pytest.approx(1.0, abs=1e-5)
+
+    @pytest.mark.parametrize("alg_factory", [
+        lambda: SKaMPIOffset(8),
+        lambda: MeanRTTOffset(8),
+    ])
+    def test_client_behind_negative_offset(self, alg_factory):
+        measurement = measure(alg_factory, client_ahead=False)
+        assert measurement.offset == pytest.approx(-1.0, abs=1e-5)
+
+    def test_global_clock_subtracts_offset(self):
+        """global(t) = local(t) - offset must bring a fast client back."""
+        from repro.simtime.hardware import HardwareClock
+
+        client = HardwareClock(offset=5.0)
+        ref = HardwareClock(offset=0.0)
+        # offset(client - ref) = 5.0 at all times.
+        model = LinearDriftModel(slope=0.0, intercept=5.0)
+        adjusted = GlobalClockLM(client, model)
+        assert adjusted.read(3.0) == pytest.approx(ref.read(3.0))

@@ -1,0 +1,100 @@
+"""Structural tests: the pairing order of each algorithm vs the paper.
+
+These record every LEARN_CLOCK_MODEL invocation (reference, client, and
+the order in which each process participates) and compare against the
+paper's Fig. 1 / Algorithm 1 structure — so a refactor cannot silently
+turn HCA3 back into HCA2.
+"""
+
+import pytest
+
+import repro.sync.hca as hca_mod
+import repro.sync.hca3 as hca3_mod
+import repro.sync.jk as jk_mod
+from repro.cluster.netmodels import ideal_network
+from repro.sync import HCA2Sync, HCA3Sync, JKSync, SKaMPIOffset
+from tests.conftest import PERFECT_TIME, run_spmd
+
+
+@pytest.fixture
+def record_pairs(monkeypatch):
+    """Patch learn_clock_model in every algorithm module to log pairs."""
+    calls = []
+    import repro.sync.learn as learn_mod
+
+    original = learn_mod.learn_clock_model
+
+    def spy(comm, p_ref, client, clock, *args, **kwargs):
+        if comm.rank == client:
+            calls.append((p_ref, client))
+        result = yield from original(
+            comm, p_ref, client, clock, *args, **kwargs
+        )
+        return result
+
+    for module in (hca_mod, hca3_mod, jk_mod):
+        monkeypatch.setattr(module, "learn_clock_model", spy)
+    return calls
+
+
+def run_algorithm(cls, nprocs, seed=0):
+    def main(ctx, comm):
+        alg = cls(offset_alg=SKaMPIOffset(2), nfitpoints=2)
+        clk = yield from alg.sync_clocks(comm, ctx.hardware_clock)
+        return clk
+
+    run_spmd(main, num_nodes=nprocs, ranks_per_node=1,
+             network=ideal_network(), time_source=PERFECT_TIME, seed=seed)
+
+
+class TestHCA3Structure:
+    def test_every_rank_client_exactly_once(self, record_pairs):
+        run_algorithm(HCA3Sync, 8)
+        clients = [c for _, c in record_pairs]
+        assert sorted(clients) == list(range(1, 8))
+
+    def test_reference_flows_down_binomial_tree(self, record_pairs):
+        run_algorithm(HCA3Sync, 8)
+        pairs = set(record_pairs)
+        # Algorithm 1's pairings for p = 8: strides 4, 2, 1.
+        assert pairs == {(0, 4), (0, 2), (4, 6), (0, 1), (2, 3), (4, 5),
+                         (6, 7)}
+
+    def test_parent_is_synced_before_serving(self, record_pairs):
+        run_algorithm(HCA3Sync, 8)
+        synced_order = [c for _, c in record_pairs]
+        for ref, client in record_pairs:
+            if ref == 0:
+                continue
+            # A non-root reference must appear as a client before its
+            # own client does (it needs a global model to emulate).
+            assert synced_order.index(ref) < synced_order.index(client)
+
+    def test_non_power_of_two_remainder(self, record_pairs):
+        run_algorithm(HCA3Sync, 6)
+        pairs = set(record_pairs)
+        # max_power = 4: tree over 0-3, then 4 <- 0 and 5 <- 1.
+        assert (0, 4) in pairs and (1, 5) in pairs
+
+
+class TestHCA2Structure:
+    def test_models_learned_up_the_tree(self, record_pairs):
+        run_algorithm(HCA2Sync, 8)
+        pairs = set(record_pairs)
+        # Inverted binomial tree: stride-1 pairs, then 2, then 4.
+        assert pairs == {(0, 1), (2, 3), (4, 5), (6, 7), (0, 2), (4, 6),
+                         (0, 4)}
+
+    def test_smallest_strides_first(self, record_pairs):
+        run_algorithm(HCA2Sync, 8)
+        strides = [client - ref for ref, client in record_pairs]
+        # Strides must be non-decreasing over time (1,1,1,1,2,2,4) — the
+        # opposite round order of HCA3.
+        assert strides == sorted(strides)
+
+
+class TestJKStructure:
+    def test_every_client_direct_to_root(self, record_pairs):
+        run_algorithm(JKSync, 6)
+        assert all(ref == 0 for ref, _ in record_pairs)
+        assert [c for _, c in record_pairs] == [1, 2, 3, 4, 5]

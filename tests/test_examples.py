@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "sync duration" in result.stdout
+        assert "max |offset|" in result.stdout
+
+    def test_trace_amg(self):
+        result = run_example("trace_amg.py")
+        assert result.returncode == 0, result.stderr
+        assert "events INVISIBLE" in result.stdout
+        assert "events visible" in result.stdout
+
+    def test_hierarchical_sync(self):
+        result = run_example("hierarchical_sync.py")
+        assert result.returncode == 0, result.stderr
+        assert "H3HCA" in result.stdout
+        assert "incorrect" in result.stdout
+
+    @pytest.mark.slow
+    def test_tune_allreduce(self):
+        result = run_example("tune_allreduce.py")
+        assert result.returncode == 0, result.stderr
+        assert "winner" in result.stdout
+
+    @pytest.mark.slow
+    def test_algorithm_crossover(self):
+        result = run_example("algorithm_crossover.py")
+        assert result.returncode == 0, result.stderr
+        assert "scatter_allgather" in result.stdout
+        assert "rabenseifner" in result.stdout

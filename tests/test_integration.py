@@ -1,0 +1,123 @@
+"""End-to-end integration tests: the paper's full story in one run.
+
+These tests chain the layers the way a real benchmarking campaign does:
+build a machine → synchronize clocks hierarchically → measure collectives
+with several schemes → trace an application — all inside one simulated
+job, asserting cross-layer consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import check_clock_accuracy, max_abs_offset
+from repro.analysis.imbalance import measure_barrier_imbalance
+from repro.bench.schemes import BarrierScheme, RoundTimeScheme
+from repro.cluster.machines import JUPITER
+from repro.experiments.common import MACHINE_TIME_SOURCES
+from repro.simmpi.simulation import Simulation
+from repro.sync.hierarchical import h2hca
+from repro.sync.offset import SKaMPIOffset
+from repro.trace.amg import AMGConfig, amg_iteration_loop
+from repro.trace.gantt import gantt_bars, visibility_ratio
+from repro.trace.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def full_campaign():
+    """One simulated job running the whole pipeline; shared by the tests."""
+    machine = JUPITER.machine(4, 4)
+
+    def main(ctx, comm):
+        out = {}
+        sync = h2hca(nfitpoints=15, fitpoint_spacing=1e-3)
+        t0 = ctx.now
+        g_clk = yield from sync.sync_clocks(comm, ctx.hardware_clock)
+        out["sync_duration"] = ctx.now - t0
+
+        out["accuracy"] = yield from check_clock_accuracy(
+            comm, g_clk, SKaMPIOffset(10), wait_times=(0.0, 5.0)
+        )
+
+        def op(c):
+            yield from c.allreduce(1.0, size=8)
+
+        barrier = BarrierScheme(barrier_algorithm="linear", nreps=30)
+        out["barrier_result"] = yield from barrier.run(comm, op)
+        rt = RoundTimeScheme(lambda c: g_clk, max_time_slice=1.0,
+                             max_nrep=30)
+        out["rt_result"] = yield from rt.run(comm, op)
+
+        out["imbalance"] = yield from measure_barrier_imbalance(
+            comm, g_clk, "double_ring", nreps=20
+        )
+
+        tracer = Tracer(g_clk, comm.rank)
+        yield from amg_iteration_loop(
+            comm, tracer, AMGConfig(niterations=5)
+        )
+        out["events"] = yield from tracer.gather_events(comm)
+        return out
+
+    sim = Simulation(
+        machine=machine,
+        network=JUPITER.network(),
+        time_source=MACHINE_TIME_SOURCES["jupiter"],
+        seed=42,
+    )
+    return sim, sim.run(main)
+
+
+class TestFullCampaign:
+    def test_clock_accurate_after_sync(self, full_campaign):
+        _, result = full_campaign
+        accuracy = result.values[0]["accuracy"]
+        assert max_abs_offset(accuracy[0.0]) < 2e-6
+
+    def test_roundtime_collects_everywhere(self, full_campaign):
+        _, result = full_campaign
+        counts = {v["rt_result"].nvalid for v in result.values}
+        assert counts == {30}
+
+    def test_barrier_scheme_positive_durations(self, full_campaign):
+        _, result = full_campaign
+        for v in result.values:
+            assert all(d > 0 for d in v["barrier_result"].durations)
+
+    def test_imbalance_measured_at_root(self, full_campaign):
+        _, result = full_campaign
+        samples = result.values[0]["imbalance"]
+        finite = [s for s in samples if np.isfinite(s)]
+        assert len(finite) >= 15
+        # Double ring at 16 ranks: a full two-lap token circulation.
+        assert np.mean(finite) > 5e-6
+
+    def test_trace_visible_under_global_clock(self, full_campaign):
+        _, result = full_campaign
+        events = result.values[0]["events"]
+        bars = gantt_bars(events, "MPI_Allreduce", 3)
+        assert visibility_ratio(bars) > 0.05
+
+    def test_everything_happened_in_order(self, full_campaign):
+        _, result = full_campaign
+        # Trace events (global-clock readings) postdate the sync by
+        # construction: their start readings exceed the sync duration.
+        v = result.values[0]
+        first_event = min(e.start for e in v["events"])
+        assert first_event > 0
+
+    def test_job_is_reproducible(self, full_campaign):
+        sim, result = full_campaign
+        machine = JUPITER.machine(4, 4)
+
+        def probe(ctx, comm):
+            sync = h2hca(nfitpoints=15, fitpoint_spacing=1e-3)
+            g_clk = yield from sync.sync_clocks(comm, ctx.hardware_clock)
+            return ctx.now
+
+        sim_a = Simulation(machine=machine, network=JUPITER.network(),
+                           time_source=MACHINE_TIME_SOURCES["jupiter"],
+                           seed=7)
+        sim_b = Simulation(machine=machine, network=JUPITER.network(),
+                           time_source=MACHINE_TIME_SOURCES["jupiter"],
+                           seed=7)
+        assert sim_a.run(probe).values == sim_b.run(probe).values

@@ -1,0 +1,75 @@
+"""Tests for trace export (Chrome trace JSON + ASCII Gantt)."""
+
+import json
+
+import pytest
+
+from repro.trace.export import to_ascii_gantt, to_chrome_trace
+from repro.trace.tracer import TraceEvent
+
+
+def make_events():
+    return [
+        TraceEvent("MPI_Allreduce", rank=0, iteration=0, start=10.0,
+                   end=10.00003),
+        TraceEvent("MPI_Allreduce", rank=1, iteration=0, start=10.00001,
+                   end=10.00004),
+        TraceEvent("MPI_Allreduce", rank=0, iteration=1, start=10.1,
+                   end=10.10002),
+        TraceEvent("MPI_Allreduce", rank=1, iteration=1, start=10.1,
+                   end=10.10003),
+    ]
+
+
+class TestChromeTrace:
+    def test_valid_json_complete_events(self):
+        records = json.loads(to_chrome_trace(make_events()))
+        assert len(records) == 4
+        for r in records:
+            assert r["ph"] == "X"
+            assert r["dur"] > 0
+            assert r["ts"] >= 0
+
+    def test_timestamps_rebased_to_zero(self):
+        records = json.loads(to_chrome_trace(make_events()))
+        assert min(r["ts"] for r in records) == 0.0
+
+    def test_tid_is_rank(self):
+        records = json.loads(to_chrome_trace(make_events()))
+        assert {r["tid"] for r in records} == {0, 1}
+
+    def test_empty(self):
+        assert to_chrome_trace([]) == "[]"
+
+    def test_microsecond_unit(self):
+        records = json.loads(to_chrome_trace(make_events()))
+        e0 = next(r for r in records
+                  if r["tid"] == 0 and r["args"]["iteration"] == 0)
+        assert e0["dur"] == pytest.approx(30.0, rel=1e-6)
+
+
+class TestAsciiGantt:
+    def test_renders_one_row_per_rank(self):
+        out = to_ascii_gantt(make_events(), "MPI_Allreduce", 0)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 ranks
+        assert "rank    0" in lines[1]
+        assert "#" in lines[1]
+
+    def test_selects_iteration(self):
+        out = to_ascii_gantt(make_events(), "MPI_Allreduce", 1)
+        assert "iteration 1" in out
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(ValueError):
+            to_ascii_gantt(make_events(), "MPI_Bcast", 0)
+
+    def test_bars_reflect_offsets(self):
+        events = [
+            TraceEvent("x", rank=0, iteration=0, start=0.0, end=1.0),
+            TraceEvent("x", rank=1, iteration=0, start=9.0, end=10.0),
+        ]
+        out = to_ascii_gantt(events, "x", 0, width=40)
+        row0, row1 = out.splitlines()[1:]
+        # rank 0's bar starts at the left edge, rank 1's near the right.
+        assert row0.index("#") < row1.index("#")

@@ -1,0 +1,61 @@
+"""Tests for Gantt-chart extraction and the visibility metric."""
+
+import pytest
+
+from repro.trace.gantt import (
+    GanttBar,
+    gantt_bars,
+    start_spread,
+    visibility_ratio,
+)
+from repro.trace.tracer import TraceEvent
+
+
+def make_events(starts, duration=10e-6, name="ar", iteration=0):
+    return [
+        TraceEvent(name=name, rank=r, iteration=iteration, start=s,
+                   end=s + duration)
+        for r, s in enumerate(starts)
+    ]
+
+
+class TestGanttBars:
+    def test_normalized_to_earliest(self):
+        bars = gantt_bars(make_events([5.0, 5.1, 4.9]), "ar", 0)
+        assert min(b.start for b in bars) == 0.0
+        assert bars[2].start == 0.0  # rank 2 was earliest
+
+    def test_sorted_by_rank(self):
+        bars = gantt_bars(make_events([3.0, 1.0, 2.0]), "ar", 0)
+        assert [b.rank for b in bars] == [0, 1, 2]
+
+    def test_selects_name_and_iteration(self):
+        events = make_events([0.0, 0.1]) + make_events(
+            [7.0, 7.1], iteration=1
+        )
+        bars = gantt_bars(events, "ar", 1)
+        assert len(bars) == 2
+        assert bars[0].start == 0.0
+
+    def test_missing_event_raises(self):
+        with pytest.raises(ValueError):
+            gantt_bars(make_events([0.0]), "nope", 0)
+
+
+class TestVisibility:
+    def test_spread(self):
+        bars = [GanttBar(0, 0.0, 1.0), GanttBar(1, 5.0, 1.0)]
+        assert start_spread(bars) == 5.0
+
+    def test_visible_when_durations_dominate(self):
+        bars = [GanttBar(0, 0.0, 30e-6), GanttBar(1, 5e-6, 30e-6)]
+        assert visibility_ratio(bars) > 1.0
+
+    def test_invisible_when_spread_dominates(self):
+        # clock_gettime-style: starts differ by hours, events last 30 us.
+        bars = [GanttBar(0, 0.0, 30e-6), GanttBar(1, 3600.0, 30e-6)]
+        assert visibility_ratio(bars) < 1e-7
+
+    def test_zero_spread_infinite(self):
+        bars = [GanttBar(0, 0.0, 1e-6), GanttBar(1, 0.0, 1e-6)]
+        assert visibility_ratio(bars) == float("inf")

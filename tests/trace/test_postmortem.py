@@ -1,0 +1,106 @@
+"""Tests for post-mortem timestamp correction (Scalasca-style)."""
+
+import pytest
+
+from repro.cluster.netmodels import infiniband_qdr
+from repro.errors import SyncError
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync.offset import ClockOffset, SKaMPIOffset
+from repro.trace.postmortem import PostMortemCorrector, record_sync_point
+from repro.trace.tracer import TraceEvent
+from tests.conftest import run_spmd
+
+STABLE = CLOCK_GETTIME.with_(skew_walk_sigma=1e-10)
+TWITCHY = CLOCK_GETTIME.with_(skew_walk_sigma=2e-6)
+
+
+class TestCorrectorMath:
+    def test_model_through_anchors(self):
+        corr = PostMortemCorrector(
+            ClockOffset(timestamp=100.0, offset=1.0),
+            ClockOffset(timestamp=200.0, offset=2.0),
+        )
+        m = corr.model()
+        assert m.offset_at(100.0) == pytest.approx(1.0)
+        assert m.offset_at(200.0) == pytest.approx(2.0)
+
+    def test_correct_timestamp_removes_offset(self):
+        corr = PostMortemCorrector(
+            ClockOffset(timestamp=0.0, offset=5.0),
+            ClockOffset(timestamp=10.0, offset=5.0),
+        )
+        assert corr.correct_timestamp(4.0) == pytest.approx(-1.0)
+
+    def test_correct_events(self):
+        corr = PostMortemCorrector(
+            ClockOffset(0.0, 1.0), ClockOffset(10.0, 1.0)
+        )
+        events = [TraceEvent("x", 1, 0, start=2.0, end=3.0)]
+        fixed = corr.correct_events(events)
+        assert fixed[0].start == pytest.approx(1.0)
+        assert fixed[0].end == pytest.approx(2.0)
+        assert fixed[0].duration == pytest.approx(1.0)
+
+    def test_rejects_inverted_anchors(self):
+        corr = PostMortemCorrector(
+            ClockOffset(10.0, 0.0), ClockOffset(10.0, 0.0)
+        )
+        with pytest.raises(SyncError):
+            corr.model()
+
+
+def pipeline_main(run_seconds, time_source, seed=0, nodes=4):
+    """Record two sync points around a run; return per-rank residuals."""
+
+    def main(ctx, comm):
+        alg = SKaMPIOffset(10)
+        init = yield from record_sync_point(comm, ctx.hardware_clock, alg)
+        yield from ctx.elapse(run_seconds)
+        yield from comm.barrier()
+        final = yield from record_sync_point(comm, ctx.hardware_clock,
+                                             alg)
+        # Residual: correct the midpoint-of-run local time and compare
+        # with ground truth (rank 0's clock at the same true time).
+        corr = PostMortemCorrector(init, final)
+        t_mid_true = ctx.now - run_seconds / 2.0
+        local_mid = ctx.hardware_clock.read(t_mid_true)
+        corrected = corr.correct_timestamp(local_mid)
+        return corrected, t_mid_true
+
+    sim, res = run_spmd(main, num_nodes=nodes, ranks_per_node=1,
+                        network=infiniband_qdr(),
+                        time_source=time_source, seed=seed)
+    # Compare corrected midpoint timestamps with rank 0's clock reading at
+    # the same true instant.
+    residuals = []
+    for rank, (corrected, t_mid) in enumerate(res.values):
+        if rank == 0:
+            continue
+        truth = sim.clocks[0].read_raw(t_mid)
+        residuals.append(abs(corrected - truth))
+    return residuals
+
+
+class TestPipeline:
+    def test_sync_point_every_rank_gets_anchor(self):
+        def main(ctx, comm):
+            anchor = yield from record_sync_point(
+                comm, ctx.hardware_clock, SKaMPIOffset(5)
+            )
+            return anchor
+
+        _, res = run_spmd(main, num_nodes=3, ranks_per_node=1,
+                          network=infiniband_qdr(), time_source=STABLE)
+        assert res.values[0].offset == 0.0
+        assert all(isinstance(v, ClockOffset) for v in res.values)
+
+    def test_accurate_under_linear_drift(self):
+        residuals = pipeline_main(20.0, STABLE, seed=1)
+        assert max(residuals) < 5e-6
+
+    def test_degrades_under_nonconstant_drift(self):
+        """The Becker/Doleschal claim the paper cites: linear post-mortem
+        interpolation fails when drift is not constant."""
+        stable = pipeline_main(60.0, STABLE, seed=2)
+        twitchy = pipeline_main(60.0, TWITCHY, seed=2)
+        assert max(twitchy) > 5 * max(stable)

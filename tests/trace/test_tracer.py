@@ -1,0 +1,113 @@
+"""Tests for the tracing layer and the AMG mini-app workload."""
+
+import pytest
+
+from repro.cluster.netmodels import infiniband_qdr
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.trace.amg import AMGConfig, amg_iteration_loop
+from repro.trace.tracer import Tracer
+from tests.conftest import run_spmd
+
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+class TestTracer:
+    def test_events_recorded_per_call(self):
+        def main(ctx, comm):
+            tracer = Tracer(ctx.hardware_clock, comm.rank)
+
+            def op(c):
+                yield from c.allreduce(1)
+
+            for _ in range(3):
+                yield from tracer.trace(comm, "MPI_Allreduce", op)
+            return [
+                (e.name, e.iteration) for e in tracer.events
+            ]
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET)
+        for events in res.values:
+            assert events == [("MPI_Allreduce", 0), ("MPI_Allreduce", 1),
+                              ("MPI_Allreduce", 2)]
+
+    def test_event_timestamps_ordered(self):
+        def main(ctx, comm):
+            tracer = Tracer(ctx.hardware_clock, comm.rank)
+
+            def op(c):
+                yield from c.barrier()
+
+            yield from tracer.trace(comm, "MPI_Barrier", op)
+            e = tracer.events[0]
+            return e.end > e.start and e.duration > 0
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET)
+        assert all(res.values)
+
+    def test_trace_returns_operation_result(self):
+        def main(ctx, comm):
+            tracer = Tracer(ctx.hardware_clock, comm.rank)
+
+            def op(c):
+                result = yield from c.allreduce(2)
+                return result
+
+            out = yield from tracer.trace(comm, "ar", op)
+            return out
+
+        _, res = run_spmd(main, num_nodes=2, ranks_per_node=2,
+                          network=infiniband_qdr(), time_source=QUIET)
+        assert res.values == [8, 8, 8, 8]
+
+    def test_gather_events_merges_at_root(self):
+        def main(ctx, comm):
+            tracer = Tracer(ctx.hardware_clock, comm.rank)
+
+            def op(c):
+                yield from c.allreduce(1)
+
+            yield from tracer.trace(comm, "ar", op)
+            merged = yield from tracer.gather_events(comm)
+            return merged
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET)
+        merged = res.values[0]
+        assert len(merged) == 4
+        assert {e.rank for e in merged} == {0, 1, 2, 3}
+        assert all(v is None for v in res.values[1:])
+
+
+class TestAMG:
+    def test_loop_runs_configured_iterations(self):
+        config = AMGConfig(niterations=5)
+
+        def main(ctx, comm):
+            tracer = Tracer(ctx.hardware_clock, comm.rank)
+            n = yield from amg_iteration_loop(comm, tracer, config)
+            return (n, len(tracer.events))
+
+        _, res = run_spmd(main, network=infiniband_qdr(),
+                          time_source=QUIET)
+        assert all(v == (5, 5) for v in res.values)
+
+    def test_allreduce_dominates_runtime(self):
+        """The paper's AMG profile: ~80% of time in MPI_Allreduce."""
+        config = AMGConfig(niterations=10, compute_mean=2e-6,
+                           compute_jitter=0.5e-6)
+
+        def main(ctx, comm):
+            tracer = Tracer(ctx.hardware_clock, comm.rank)
+            t0 = ctx.now
+            yield from amg_iteration_loop(comm, tracer, config)
+            total = ctx.now - t0
+            in_allreduce = sum(e.duration for e in tracer.events)
+            return in_allreduce / total
+
+        _, res = run_spmd(main, num_nodes=4, ranks_per_node=2,
+                          network=infiniband_qdr(), time_source=QUIET,
+                          seed=5)
+        # Most ranks spend the majority of the loop inside the collective.
+        assert sum(1 for f in res.values if f > 0.5) >= len(res.values) / 2

@@ -1,0 +1,66 @@
+"""Tests for the performance-guideline checker."""
+
+import pytest
+
+from repro.cluster.machines import JUPITER
+from repro.errors import ConfigurationError
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.tuning.guidelines import (
+    STANDARD_GUIDELINES,
+    GuidelineReport,
+    check_guidelines,
+)
+
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+class TestGuidelines:
+    def test_standard_set_names(self):
+        names = [g.name for g in STANDARD_GUIDELINES]
+        assert "Allreduce <= Reduce + Bcast" in names
+        assert "Bcast <= Scatter + Allgather" in names
+
+    def test_report_covers_all_cells(self):
+        report = check_guidelines(
+            machine=JUPITER.machine(4, 2),
+            network=JUPITER.network(),
+            msizes=(8,),
+            nreps=10,
+            time_source=QUIET,
+        )
+        assert len(report.measured) == len(STANDARD_GUIDELINES)
+        for spec, mock in report.measured.values():
+            assert spec > 0 and mock > 0
+
+    def test_well_tuned_library_has_few_violations(self):
+        """Our substrate's specialized collectives should mostly hold the
+        guidelines (the defaults are the sensible algorithms)."""
+        report = check_guidelines(
+            machine=JUPITER.machine(4, 2),
+            network=JUPITER.network(),
+            msizes=(8,),
+            nreps=15,
+            time_source=QUIET,
+            seed=4,
+        )
+        assert len(report.violations(tolerance=0.25)) == 0
+
+    def test_violation_detection_logic(self):
+        report = GuidelineReport(scheme="round_time", msizes=(8,))
+        report.measured[("fast is fine", 8)] = (1.0e-6, 2.0e-6)
+        report.measured[("slow violates", 8)] = (3.0e-6, 2.0e-6)
+        assert report.violations() == [("slow violates", 8)]
+
+    def test_tolerance_applies(self):
+        report = GuidelineReport(scheme="round_time", msizes=(8,))
+        report.measured[("borderline", 8)] = (2.08e-6, 2.0e-6)
+        assert report.violations(tolerance=0.05) == []
+        assert report.violations(tolerance=0.01) == [("borderline", 8)]
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            check_guidelines(
+                machine=JUPITER.machine(2, 1),
+                network=JUPITER.network(),
+                scheme="psychic",
+            )

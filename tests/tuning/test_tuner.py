@@ -1,0 +1,82 @@
+"""Tests for the collective tuner."""
+
+import pytest
+
+from repro.cluster.machines import JUPITER
+from repro.errors import ConfigurationError
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.tuning.tuner import (
+    TuningResult,
+    collective_operation,
+    tune_collective,
+)
+
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+def small_tune(**kw):
+    kw.setdefault("collective", "allreduce")
+    kw.setdefault("machine", JUPITER.machine(4, 2))
+    kw.setdefault("network", JUPITER.network())
+    kw.setdefault("msizes", (8, 1 << 20))
+    kw.setdefault("nreps", 10)
+    kw.setdefault("time_source", QUIET)
+    return tune_collective(**kw)
+
+
+class TestTuner:
+    def test_all_cells_measured(self):
+        result = small_tune(
+            algorithms=("recursive_doubling", "rabenseifner")
+        )
+        assert set(result.latency) == {
+            (m, a)
+            for m in (8, 1 << 20)
+            for a in ("recursive_doubling", "rabenseifner")
+        }
+        assert all(v > 0 for v in result.latency.values())
+
+    def test_selection_table_crossover(self):
+        result = small_tune(
+            algorithms=("recursive_doubling", "rabenseifner"),
+            seed=2,
+        )
+        table = result.selection_table()
+        assert table[8] == "recursive_doubling"
+        assert table[1 << 20] == "rabenseifner"
+
+    def test_barrier_scheme_also_works(self):
+        result = small_tune(
+            algorithms=("recursive_doubling",),
+            scheme="barrier",
+            msizes=(8,),
+        )
+        assert result.scheme == "barrier"
+        assert result.winner(8) == "recursive_doubling"
+
+    def test_defaults_to_all_variants(self):
+        result = small_tune(msizes=(8,), nreps=5)
+        from repro.simmpi.collectives import ALLREDUCE_ALGORITHMS
+
+        assert set(result.algorithms) == set(ALLREDUCE_ALGORITHMS)
+
+    def test_barrier_collective_tunable(self):
+        result = small_tune(
+            collective="barrier",
+            algorithms=("tree", "double_ring"),
+            msizes=(8,),
+            nreps=5,
+        )
+        assert result.winner(8) == "tree"
+
+    def test_unknown_collective(self):
+        with pytest.raises(ConfigurationError):
+            small_tune(collective="scan")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            small_tune(scheme="vibes")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            collective_operation("allreduce", "warp", 8)

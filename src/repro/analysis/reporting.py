@@ -8,7 +8,6 @@ figures report; these helpers keep the format consistent across the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

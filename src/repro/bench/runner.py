@@ -19,6 +19,8 @@ from repro.bench.suites import (
     reprompi_report,
 )
 from repro.cluster.topology import Machine
+from repro.obs.events import EventSink
+from repro.obs.metrics import MetricsRegistry
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.simulation import Simulation
 from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
@@ -60,6 +62,9 @@ def run_latency_benchmark(
     time_source: TimeSourceSpec = CLOCK_GETTIME,
     seed: int = 0,
     fabric=None,
+    sink: EventSink | None = None,
+    metrics: MetricsRegistry | None = None,
+    stats_out: dict | None = None,
 ) -> list[LatencyMeasurement]:
     """Run the full pipeline; returns one measurement per suite × msize.
 
@@ -67,6 +72,12 @@ def run_latency_benchmark(
     suite is requested), then measures every (suite, msize) combination in
     sequence — mirroring how a real benchmarking campaign reuses one
     ``mpirun``.
+
+    ``sink``/``metrics`` attach observability to the simulated job (see
+    :mod:`repro.obs`).  When ``stats_out`` is given, it is filled with a
+    run summary: the engine's counter snapshot under ``"engine"`` and, if
+    the sync algorithm tracks rounds, its per-level RTT/residual summary
+    under ``"sync"``.
     """
     needs_clock = any(s.startswith("reprompi") for s in suites)
 
@@ -121,8 +132,14 @@ def run_latency_benchmark(
         time_source=time_source,
         seed=seed,
         fabric=fabric,
+        sink=sink,
+        metrics=metrics,
     )
     result = sim.run(main)
+    if stats_out is not None:
+        stats_out["engine"] = result.engine_stats
+        if sync_algorithm is not None:
+            stats_out["sync"] = sync_algorithm.sync_stats_summary()
     measurements = []
     for suite, msize, rep in result.values[0]:
         measurements.append(

@@ -4,6 +4,15 @@ Targets are the paper's tables/figures (``table1``, ``fig2`` … ``fig10``)
 or ``all``.  Example::
 
     python -m repro.experiments fig8 --scale quick --seed 1
+
+Observability options (see :mod:`repro.obs`):
+
+* ``--obs-summary`` installs a process-wide event sink + metrics registry
+  for the run and prints event counts and metric aggregates afterwards.
+* ``--chrome-trace-dir DIR`` (with the ``fig10`` target) additionally
+  exports the traced AMG run as Chrome trace-event JSON, once through the
+  raw local clocks and once through the H2HCA global clocks — open both
+  in https://ui.perfetto.dev for the paper's skewed-vs-corrected diff.
 """
 
 from __future__ import annotations
@@ -12,6 +21,8 @@ import argparse
 import sys
 import time
 
+from repro.obs.events import CountingSink, default_sink
+from repro.obs.metrics import MetricsRegistry, default_metrics, format_summary
 from repro.experiments import (
     fig2_drift,
     fig3_flat_algorithms,
@@ -74,17 +85,75 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["quick", "default"],
                         help="experiment size (see EXPERIMENTS.md)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="attach an event sink + metrics registry to every simulated "
+             "job and print aggregate counts afterwards",
+    )
+    parser.add_argument(
+        "--chrome-trace-dir",
+        metavar="DIR",
+        help="with the fig10 target: also export the traced AMG run as "
+             "Chrome trace JSON (raw local clocks + H2HCA global clocks)",
+    )
     return parser
+
+
+def _print_obs_summary(sink: CountingSink, registry: MetricsRegistry) -> None:
+    print("=== observability summary ===")
+    total = sum(sink.counts.values())
+    print(f"engine events: {total}")
+    for name in sorted(sink.counts):
+        print(f"  {name}: {sink.counts[name]}")
+    metrics_text = format_summary(registry)
+    if metrics_text:
+        print("metrics:")
+        for line in metrics_text.splitlines():
+            print(f"  {line}")
+
+
+def _export_chrome_traces(out_dir: str, scale: str, seed: int) -> None:
+    info = fig10_tracing.export_chrome_traces(
+        out_dir, scale=scale, seed=seed
+    )
+    print("=== chrome trace export (load in https://ui.perfetto.dev) ===")
+    for key in ("raw_local_clock", "global_clock"):
+        print(f"{key}: {info[key]} ({info['records'][key]} records)")
+    eng = info["engine"]
+    print(f"engine: {eng['messages_delivered']} messages, "
+          f"{eng['bytes_delivered']:.0f} bytes delivered")
+    for level, stats in sorted(info["sync"].items()):
+        print(f"sync[{level}]: rounds={stats['rounds']:.0f} "
+              f"mean_rtt={stats['mean_rtt']:.3g}s "
+              f"max_abs_residual={stats['max_abs_residual']:.3g}s")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     targets = sorted(TARGETS) if args.target == "all" else [args.target]
-    for name in targets:
-        t0 = time.time()
-        output = TARGETS[name](args.scale, args.seed)
-        print(output)
-        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+
+    def run_targets() -> None:
+        for name in targets:
+            t0 = time.time()
+            output = TARGETS[name](args.scale, args.seed)
+            print(output)
+            print(f"[{name}: {time.time() - t0:.1f}s]\n")
+        if args.chrome_trace_dir and (
+            "fig10" in targets or args.target == "all"
+        ):
+            _export_chrome_traces(
+                args.chrome_trace_dir, args.scale, args.seed
+            )
+
+    if args.obs_summary:
+        sink = CountingSink()
+        registry = MetricsRegistry()
+        with default_sink(sink), default_metrics(registry):
+            run_targets()
+        _print_obs_summary(sink, registry)
+    else:
+        run_targets()
     return 0
 
 

@@ -18,11 +18,14 @@ Expected shapes:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.analysis.reporting import Table, format_table
 from repro.cluster.machines import JUPITER
 from repro.experiments.common import Scale, resolve_scale
+from repro.obs.chrome_trace import export_chrome_trace
+from repro.obs.events import RecordingSink
 from repro.simmpi.simulation import Simulation
 from repro.simtime.sources import CLOCK_GETTIME, GETTIMEOFDAY
 from repro.sync.hierarchical import h2hca
@@ -93,6 +96,83 @@ def run(scale: str | Scale = "quick", seed: int = 0) -> Fig10Result:
             events, "MPI_Allreduce", ITERATION
         )
     return result
+
+
+def export_chrome_traces(
+    out_dir: str,
+    scale: str | Scale = "quick",
+    seed: int = 0,
+    source_name: str = "clock_gettime",
+    include_messages: bool = False,
+) -> dict:
+    """One seeded H2HCA tracing run, exported as two Chrome trace files.
+
+    Runs the Fig. 10 pipeline once (sync + traced AMG loop) with an engine
+    :class:`RecordingSink` attached, then writes
+
+    * ``fig10_raw_local_clock.json`` — every span re-read through its
+      rank's *hardware* clock (the skewed view of Fig. 10b/10d), and
+    * ``fig10_global_clock.json`` — the same spans re-read through the
+      H2HCA-synchronized logical clocks (the corrected view of
+      Fig. 10a/10c).
+
+    Load both in https://ui.perfetto.dev to see the paper's before/after
+    diff.  Returns a dict with the file paths, the engine counter snapshot
+    and the sync algorithm's per-level round summary.
+    """
+    sc = resolve_scale(scale)
+    machine = JUPITER.machine(max(4, sc.num_nodes // 2), sc.ranks_per_node)
+    sources = {
+        "clock_gettime": CLOCK_GETTIME,
+        "gettimeofday": GETTIMEOFDAY,
+    }
+    amg = AMGConfig(niterations=max(12, ITERATION + 2))
+    sync_alg = h2hca(nfitpoints=sc.nfitpoints,
+                     fitpoint_spacing=sc.fitpoint_spacing)
+    sink = RecordingSink()
+
+    def main(ctx, comm):
+        clock = yield from sync_alg.sync_clocks(comm, ctx.hardware_clock)
+        tracer = Tracer(clock, comm.rank)
+        yield from amg_iteration_loop(comm, tracer, amg)
+        events = yield from tracer.gather_events(comm)
+        return events, clock
+
+    sim = Simulation(
+        machine=machine,
+        network=JUPITER.network(),
+        time_source=sources[source_name],
+        seed=seed,
+        sink=sink,
+    )
+    result = sim.run(main)
+    trace_events = result.values[0][0]
+    global_clocks = [clk for (_ev, clk) in result.values]
+
+    os.makedirs(out_dir, exist_ok=True)
+    raw_path = os.path.join(out_dir, "fig10_raw_local_clock.json")
+    global_path = os.path.join(out_dir, "fig10_global_clock.json")
+    nraw = export_chrome_trace(
+        raw_path,
+        trace_events=trace_events,
+        engine_events=sink.events,
+        clock_of=lambda r: result.clocks[r],
+        include_messages=include_messages,
+    )
+    nglobal = export_chrome_trace(
+        global_path,
+        trace_events=trace_events,
+        engine_events=sink.events,
+        clock_of=lambda r: global_clocks[r],
+        include_messages=include_messages,
+    )
+    return {
+        "raw_local_clock": raw_path,
+        "global_clock": global_path,
+        "records": {"raw_local_clock": nraw, "global_clock": nglobal},
+        "engine": result.engine_stats,
+        "sync": sync_alg.sync_stats_summary(),
+    }
 
 
 def format_result(result: Fig10Result) -> str:

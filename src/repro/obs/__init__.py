@@ -1,0 +1,77 @@
+"""Observability layer: engine events, metrics, sync-round stats, export.
+
+The subsystem is strictly *passive*: installing a sink or a metrics
+registry never draws randomness, never advances simulated time, and never
+changes scheduling — a seeded simulation produces bit-identical results
+with and without observability enabled (tested in
+``tests/simmpi/test_obs_determinism.py``).
+
+Entry points:
+
+* :mod:`repro.obs.events` — the :class:`EventSink` protocol, typed event
+  records emitted by the engine/communicator, and ready-made sinks.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with per-rank
+  labels and job-level aggregation.
+* :mod:`repro.obs.sync_stats` — per-round instrumentation of the clock
+  synchronization algorithms (RTTs per fit point, fit residuals, slopes).
+* :mod:`repro.obs.chrome_trace` — Chrome trace-event JSON export
+  (Perfetto/about:tracing), with optional logical-clock remapping.
+"""
+
+from repro.obs.events import (
+    CollectiveEnter,
+    CollectiveExit,
+    CountingSink,
+    EventSink,
+    MsgDeliver,
+    MsgSend,
+    NicQueue,
+    ProcBlock,
+    ProcWake,
+    RecordingSink,
+    default_sink,
+    get_default_sink,
+    set_default_sink,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_metrics,
+    format_summary,
+    get_default_metrics,
+    set_default_metrics,
+)
+from repro.obs.sync_stats import (
+    FitpointSample,
+    SyncRoundRecord,
+    SyncStatsCollector,
+)
+
+__all__ = [
+    "CollectiveEnter",
+    "CollectiveExit",
+    "Counter",
+    "CountingSink",
+    "EventSink",
+    "FitpointSample",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MsgDeliver",
+    "MsgSend",
+    "NicQueue",
+    "ProcBlock",
+    "ProcWake",
+    "RecordingSink",
+    "SyncRoundRecord",
+    "SyncStatsCollector",
+    "default_metrics",
+    "default_sink",
+    "format_summary",
+    "get_default_metrics",
+    "get_default_sink",
+    "set_default_metrics",
+    "set_default_sink",
+]

@@ -1,0 +1,196 @@
+"""Engine event stream: typed records and the pluggable sink protocol.
+
+The engine and communicator emit one record per noteworthy state change —
+message injection/delivery, process block/wake, NIC queueing, collective
+entry/exit.  All timestamps are *true* simulation times (the ground truth
+processes themselves cannot observe); :mod:`repro.obs.chrome_trace` can
+remap them through any per-rank clock to produce the "what a tracer with
+this clock would have seen" view of the paper's Fig. 10.
+
+Zero overhead when disabled: every emission site is guarded by a single
+``if sink is not None`` check, so with no sink installed the engine does
+no event-object construction at all.  Sinks must be passive — ``emit``
+must not touch the engine, draw randomness, or raise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Protocol, runtime_checkable
+
+
+# ----------------------------------------------------------------------
+# Event records (all times are true simulation times, in seconds)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class MsgSend:
+    """A point-to-point message was injected by ``rank``."""
+
+    time: float
+    rank: int
+    dest: int
+    tag: int
+    size: int
+    seq: int
+    #: Network level of the path ("SELF"/"LOCAL"/"REMOTE").
+    level: str
+    synchronous: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class MsgDeliver:
+    """A message completed delivery at the receiver (``rank``)."""
+
+    time: float
+    rank: int
+    source: int
+    tag: int
+    size: int
+    seq: int
+    #: send-to-delivery latency (true time, includes queueing + overheads).
+    latency: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProcBlock:
+    """A process blocked: ``reason`` is ``"recv"`` or ``"ssend"``."""
+
+    time: float
+    rank: int
+    reason: str
+    source: int = -1
+    tag: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class ProcWake:
+    """A blocked process became runnable again."""
+
+    time: float
+    rank: int
+
+
+@dataclass(frozen=True, slots=True)
+class NicQueue:
+    """A remote message found a busy NIC and queued behind ``backlog``."""
+
+    time: float
+    rank: int
+    node: int
+    #: Queue depth (in NIC gaps) the message found at injection.
+    backlog: float
+    #: True time at which the message actually entered the wire.
+    inject_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class CollectiveEnter:
+    """A rank entered a collective operation (e.g. ``MPI_Allreduce``)."""
+
+    time: float
+    rank: int
+    name: str
+    comm_id: int
+    comm_rank: int
+    comm_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class CollectiveExit:
+    """A rank left a collective operation."""
+
+    time: float
+    rank: int
+    name: str
+    comm_id: int
+    comm_rank: int
+    comm_size: int
+
+
+Event = (
+    MsgSend
+    | MsgDeliver
+    | ProcBlock
+    | ProcWake
+    | NicQueue
+    | CollectiveEnter
+    | CollectiveExit
+)
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything with an ``emit(event)`` method can observe the engine."""
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class RecordingSink:
+    """Keeps every event in emission order (true-time order per rank)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def of_type(self, *types: type) -> list[Event]:
+        """Events that are instances of any of ``types``."""
+        return [e for e in self.events if isinstance(e, types)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class CountingSink:
+    """Counts events per record type; O(1) memory for arbitrary runs."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def emit(self, event: Event) -> None:
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def clear(self) -> None:
+        self.counts.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default sink (used by Simulation when none is passed)
+# ----------------------------------------------------------------------
+_DEFAULT_SINK: EventSink | None = None
+
+
+def set_default_sink(sink: EventSink | None) -> None:
+    """Install (or clear, with ``None``) the process-wide default sink."""
+    global _DEFAULT_SINK
+    _DEFAULT_SINK = sink
+
+
+def get_default_sink() -> EventSink | None:
+    """The currently installed default sink, if any."""
+    return _DEFAULT_SINK
+
+
+@contextlib.contextmanager
+def default_sink(sink: EventSink) -> Iterator[EventSink]:
+    """Temporarily install ``sink`` as the default (restores on exit)."""
+    previous = get_default_sink()
+    set_default_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_default_sink(previous)

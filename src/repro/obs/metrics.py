@@ -1,0 +1,254 @@
+"""Metrics registry: counters, gauges, histograms with per-rank labels.
+
+Naming convention (dotted, Prometheus-ish): the engine publishes
+
+* ``engine.messages.sent`` / ``engine.messages.delivered`` (counters),
+* ``engine.bytes.sent`` / ``engine.bytes.delivered`` (counters),
+* ``engine.nic.backlog`` (histogram of queue depths found at the NIC),
+* ``engine.mailbox.depth`` (histogram of mailbox depths at deposit),
+* ``engine.rendezvous.stalls`` (counter of blocking Ssend matches),
+* ``engine.rendezvous.stall_time`` (histogram of sender stall durations).
+
+Metrics keyed with ``rank=`` aggregate per process; ``merged`` folds the
+per-rank series of one name into a single job-level view.  Like the event
+sinks, metrics are passive: updating them never perturbs the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+
+class Counter:
+    """Monotonically increasing count/sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value, tracking the extremes seen."""
+
+    __slots__ = ("value", "max_value", "min_value")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = -math.inf
+        self.min_value = math.inf
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) plus a bounded sample buffer.
+
+    The buffer keeps the first ``max_samples`` observations for quantile
+    estimates; the scalar summary stays exact regardless of volume.
+    """
+
+    __slots__ = ("count", "total", "min_value", "max_value", "_samples",
+                 "max_samples")
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the retained sample buffer."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, int(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        room = self.max_samples - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+
+
+class MetricsRegistry:
+    """Registry of named metrics, optionally labelled by rank.
+
+    A metric is addressed by ``(name, rank)``; ``rank=None`` is the
+    job-level series.  Accessors create on first use so instrumentation
+    sites stay one-liners.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, int | None], Counter] = {}
+        self._gauges: dict[tuple[str, int | None], Gauge] = {}
+        self._histograms: dict[tuple[str, int | None], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, rank: int | None = None) -> Counter:
+        key = (name, rank)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, rank: int | None = None) -> Gauge:
+        key = (name, rank)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, rank: int | None = None) -> Histogram:
+        key = (name, rank)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram()
+        return metric
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def ranks_of(self, name: str) -> list[int]:
+        """The ranks that have a per-rank series under ``name``."""
+        ranks = {
+            rank
+            for store in (self._counters, self._gauges, self._histograms)
+            for (n, rank) in store
+            if n == name and rank is not None
+        }
+        return sorted(ranks)
+
+    def merged_counter(self, name: str) -> float:
+        """Sum of one counter over all its labels (per-rank + job-level)."""
+        return sum(
+            c.value for (n, _), c in self._counters.items() if n == name
+        )
+
+    def merged_histogram(self, name: str) -> Histogram:
+        """All labelled series of one histogram folded together."""
+        merged = Histogram()
+        for (n, _), h in self._histograms.items():
+            if n == name:
+                merged.merge(h)
+        return merged
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict dump (for run summaries and JSON serialization)."""
+
+        def label(name: str, rank: int | None) -> str:
+            return name if rank is None else f"{name}[rank={rank}]"
+
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, rank), c in sorted(self._counters.items(),
+                                      key=lambda kv: str(kv[0])):
+            out["counters"][label(name, rank)] = c.value
+        for (name, rank), g in sorted(self._gauges.items(),
+                                      key=lambda kv: str(kv[0])):
+            out["gauges"][label(name, rank)] = {
+                "value": g.value, "max": g.max_value, "min": g.min_value,
+            }
+        for (name, rank), h in sorted(self._histograms.items(),
+                                      key=lambda kv: str(kv[0])):
+            out["histograms"][label(name, rank)] = {
+                "count": h.count,
+                "mean": h.mean,
+                "min": h.min_value if h.count else 0.0,
+                "max": h.max_value if h.count else 0.0,
+                "p50": h.quantile(0.5),
+                "p99": h.quantile(0.99),
+            }
+        return out
+
+    def names(self) -> list[str]:
+        """Every distinct metric name in the registry."""
+        seen: set[str] = set()
+        for store in (self._counters, self._gauges, self._histograms):
+            seen.update(name for (name, _) in store)
+        return sorted(seen)
+
+
+def format_summary(registry: MetricsRegistry,
+                   names: Iterable[str] | None = None) -> str:
+    """Human-readable one-line-per-metric summary of a registry."""
+    snap = registry.snapshot()
+    lines = []
+    wanted = set(names) if names is not None else None
+
+    def keep(label: str) -> bool:
+        if wanted is None:
+            return True
+        return label.split("[")[0] in wanted
+
+    for label, value in snap["counters"].items():
+        if keep(label):
+            lines.append(f"{label}: {value:g}")
+    for label, g in snap["gauges"].items():
+        if keep(label):
+            lines.append(f"{label}: {g['value']:g} (max {g['max']:g})")
+    for label, h in snap["histograms"].items():
+        if keep(label) and h["count"]:
+            lines.append(
+                f"{label}: n={h['count']} mean={h['mean']:.3g} "
+                f"p99={h['p99']:.3g} max={h['max']:.3g}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default registry (used by Simulation when none is passed)
+# ----------------------------------------------------------------------
+_DEFAULT_METRICS: MetricsRegistry | None = None
+
+
+def set_default_metrics(registry: MetricsRegistry | None) -> None:
+    """Install (or clear, with ``None``) the default metrics registry."""
+    global _DEFAULT_METRICS
+    _DEFAULT_METRICS = registry
+
+
+def get_default_metrics() -> MetricsRegistry | None:
+    """The currently installed default registry, if any."""
+    return _DEFAULT_METRICS
+
+
+@contextmanager
+def default_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the default (restores on exit)."""
+    previous = get_default_metrics()
+    set_default_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_default_metrics(previous)

@@ -23,7 +23,8 @@ from __future__ import annotations
 from typing import Any, Generator, Hashable, Sequence
 
 from repro.errors import CommunicatorError
-from repro.simmpi.message import ANY_TAG, Message
+from repro.obs.events import CollectiveEnter, CollectiveExit
+from repro.simmpi.message import Message
 from repro.simmpi.process import ProcessContext
 
 #: Width of each communicator's tag window.
@@ -165,20 +166,44 @@ class Communicator:
     # ------------------------------------------------------------------
     # Collectives (delegating to the algorithm modules)
     # ------------------------------------------------------------------
+    def _obs_enter(self, name: str) -> None:
+        """Emit a CollectiveEnter to the engine's sink (no-op without one)."""
+        sink = self.ctx.engine.sink
+        if sink is not None:
+            sink.emit(CollectiveEnter(
+                time=self.ctx.now, rank=self.ctx.rank, name=name,
+                comm_id=self.comm_id, comm_rank=self.rank,
+                comm_size=self.size,
+            ))
+
+    def _obs_exit(self, name: str) -> None:
+        """Emit the matching CollectiveExit (no-op without a sink)."""
+        sink = self.ctx.engine.sink
+        if sink is not None:
+            sink.emit(CollectiveExit(
+                time=self.ctx.now, rank=self.ctx.rank, name=name,
+                comm_id=self.comm_id, comm_rank=self.rank,
+                comm_size=self.size,
+            ))
+
     def barrier(self, algorithm: str = "tree"):
         """MPI_Barrier with a named algorithm (see BARRIER_ALGORITHMS)."""
         from repro.simmpi.collectives.barrier import barrier as _barrier
 
+        self._obs_enter("MPI_Barrier")
         yield from _barrier(self, algorithm=algorithm)
+        self._obs_exit("MPI_Barrier")
 
     def bcast(self, value: Any = None, root: int = 0, size: int = 8,
               algorithm: str = "binomial"):
         """MPI_Bcast: every rank returns the root's value."""
         from repro.simmpi.collectives.bcast import bcast as _bcast
 
+        self._obs_enter("MPI_Bcast")
         result = yield from _bcast(
             self, value, root=root, size=size, algorithm=algorithm
         )
+        self._obs_exit("MPI_Bcast")
         return result
 
     def reduce(self, value: Any, op=None, root: int = 0, size: int = 8,
@@ -186,9 +211,11 @@ class Communicator:
         """MPI_Reduce: root returns op-combined value, others None."""
         from repro.simmpi.collectives.reduce import reduce as _reduce
 
+        self._obs_enter("MPI_Reduce")
         result = yield from _reduce(
             self, value, op=op, root=root, size=size, algorithm=algorithm
         )
+        self._obs_exit("MPI_Reduce")
         return result
 
     def allreduce(self, value: Any, op=None, size: int = 8,
@@ -196,9 +223,11 @@ class Communicator:
         """MPI_Allreduce: every rank returns the op-combined value."""
         from repro.simmpi.collectives.allreduce import allreduce as _allreduce
 
+        self._obs_enter("MPI_Allreduce")
         result = yield from _allreduce(
             self, value, op=op, size=size, algorithm=algorithm
         )
+        self._obs_exit("MPI_Allreduce")
         return result
 
     def gather(self, value: Any, root: int = 0, size: int = 8,
@@ -206,9 +235,11 @@ class Communicator:
         """MPI_Gather: root returns the rank-ordered list, others None."""
         from repro.simmpi.collectives.gather import gather as _gather
 
+        self._obs_enter("MPI_Gather")
         result = yield from _gather(
             self, value, root=root, size=size, algorithm=algorithm
         )
+        self._obs_exit("MPI_Gather")
         return result
 
     def scatter(self, values: Sequence[Any] | None = None, root: int = 0,
@@ -216,18 +247,22 @@ class Communicator:
         """MPI_Scatter: every rank returns its block of root's values."""
         from repro.simmpi.collectives.scatter import scatter as _scatter
 
+        self._obs_enter("MPI_Scatter")
         result = yield from _scatter(
             self, values, root=root, size=size, algorithm=algorithm
         )
+        self._obs_exit("MPI_Scatter")
         return result
 
     def allgather(self, value: Any, size: int = 8, algorithm: str = "ring"):
         """MPI_Allgather: every rank returns the rank-ordered list."""
         from repro.simmpi.collectives.allgather import allgather as _allgather
 
+        self._obs_enter("MPI_Allgather")
         result = yield from _allgather(
             self, value, size=size, algorithm=algorithm
         )
+        self._obs_exit("MPI_Allgather")
         return result
 
     def alltoall(self, values: Sequence[Any], size: int = 8,
@@ -235,9 +270,11 @@ class Communicator:
         """MPI_Alltoall: exchange values[i] with rank i."""
         from repro.simmpi.collectives.alltoall import alltoall as _alltoall
 
+        self._obs_enter("MPI_Alltoall")
         result = yield from _alltoall(
             self, values, size=size, algorithm=algorithm
         )
+        self._obs_exit("MPI_Alltoall")
         return result
 
     # ------------------------------------------------------------------

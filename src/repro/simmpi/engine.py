@@ -32,6 +32,9 @@ from typing import Any, Callable, Generator, Iterable
 import numpy as np
 
 from repro.errors import DeadlockError, MatchingError, SimulationError
+from repro.obs import events as obs_events
+from repro.obs.events import EventSink
+from repro.obs.metrics import MetricsRegistry
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, RecvDescriptor
 from repro.simmpi.network import Level, NetworkModel
 
@@ -94,6 +97,7 @@ class _Proc:
         "rng",
         "mailbox",
         "recv_wait",
+        "block_time",
     )
 
     def __init__(self, rank: int, rng: np.random.Generator) -> None:
@@ -113,6 +117,8 @@ class _Proc:
         #: Messages deposited for this rank, in send order.
         self.mailbox: list[Message] = []
         self.recv_wait: RecvDescriptor | None = None
+        #: True time at which the process last blocked (diagnostics).
+        self.block_time = 0.0
 
 
 class Engine:
@@ -126,6 +132,8 @@ class Engine:
         max_true_time: float = 1e7,
         node_of: Callable[[int], int] | None = None,
         extra_node_latency: Callable[[int, int], float] | None = None,
+        sink: EventSink | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.network = network
         self.level_of = level_of
@@ -148,8 +156,23 @@ class Engine:
         self._seq = itertools.count()
         self._msg_seq = itertools.count()
         self._started = False
+        #: Optional observability hooks (see :mod:`repro.obs`).  Both are
+        #: passive; with ``sink=None`` the emission sites reduce to one
+        #: pointer comparison (the zero-overhead fast path).
+        self.sink = sink
+        self.metrics = metrics
         #: Monotonically increasing count of delivered messages (stats).
         self.messages_delivered = 0
+        #: Payload bytes of all delivered messages.
+        self.bytes_delivered = 0
+        #: Messages injected (sent), including ones still in flight.
+        self.messages_sent = 0
+        #: Payload bytes injected into the network.
+        self.bytes_sent = 0
+        #: Synchronous sends that had to park waiting for their match.
+        self.rendezvous_stalls = 0
+        #: Deepest mailbox (unmatched-message queue) seen during the run.
+        self.max_mailbox_depth = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -269,6 +292,12 @@ class Engine:
                     proc.blocked = RecvDescriptor(
                         proc.rank, cmd.source, cmd.tag, proc.now
                     )
+                    proc.block_time = proc.now
+                    if self.sink is not None:
+                        self.sink.emit(obs_events.ProcBlock(
+                            time=proc.now, rank=proc.rank, reason="recv",
+                            source=cmd.source, tag=cmd.tag,
+                        ))
                     return
                 value = self._complete_recv(proc, msg)
             elif type(cmd) is ElapseCmd:
@@ -290,6 +319,29 @@ class Engine:
             raise MatchingError(f"send to invalid rank {cmd.dest}")
         level = self.level_of(proc.rank, cmd.dest)
         send_time = proc.now
+        seq = next(self._msg_seq)
+        self.messages_sent += 1
+        self.bytes_sent += cmd.size
+        if self.sink is not None:
+            self.sink.emit(obs_events.MsgSend(
+                time=send_time, rank=proc.rank, dest=cmd.dest, tag=cmd.tag,
+                size=cmd.size, seq=seq, level=level.name,
+                synchronous=cmd.synchronous,
+            ))
+            if cmd.synchronous:
+                self.sink.emit(obs_events.ProcBlock(
+                    time=send_time, rank=proc.rank, reason="ssend",
+                    source=cmd.dest, tag=cmd.tag,
+                ))
+        if cmd.synchronous:
+            self.rendezvous_stalls += 1
+            proc.block_time = send_time
+        if self.metrics is not None:
+            self.metrics.counter("engine.bytes.sent",
+                                 proc.rank).inc(cmd.size)
+            if cmd.synchronous:
+                self.metrics.counter("engine.rendezvous.stalls",
+                                     proc.rank).inc()
         proc.now += self.network.o_send
         delay = self.network.delay(level, cmd.size, proc.rng)
         if (
@@ -317,6 +369,15 @@ class Engine:
             dst_node = self.node_of(cmd.dest)
             arrival = max(arrival, self._nic_ingress.get(dst_node, 0.0))
             self._nic_ingress[dst_node] = arrival + gap
+            if self.sink is not None and backlog > 0.0:
+                self.sink.emit(obs_events.NicQueue(
+                    time=send_time, rank=proc.rank, node=src_node,
+                    backlog=backlog, inject_time=inject,
+                ))
+            if self.metrics is not None:
+                self.metrics.histogram("engine.nic.backlog").observe(
+                    max(0.0, backlog)
+                )
         msg = Message(
             source=proc.rank,
             dest=cmd.dest,
@@ -325,7 +386,7 @@ class Engine:
             size=cmd.size,
             send_time=send_time,
             arrival=arrival,
-            seq=next(self._msg_seq),
+            seq=seq,
             sync_sender=proc if cmd.synchronous else None,
         )
         dest = self._procs[cmd.dest]
@@ -338,10 +399,20 @@ class Engine:
             dest.pending_value = None
             resume_at = max(dest.now, msg.arrival)
             dest.now = resume_at
+            if self.sink is not None:
+                self.sink.emit(obs_events.ProcWake(
+                    time=resume_at, rank=dest.rank
+                ))
             dest.pending_value = self._finish_delivery(dest, msg)
             self._schedule(dest, resume_at)
         else:
             dest.mailbox.append(msg)
+            depth = len(dest.mailbox)
+            if depth > self.max_mailbox_depth:
+                self.max_mailbox_depth = depth
+            if self.metrics is not None:
+                self.metrics.histogram("engine.mailbox.depth",
+                                       dest.rank).observe(depth)
 
     def _match_mailbox(self, proc: _Proc, source: int, tag: int) -> Message | None:
         for i, msg in enumerate(proc.mailbox):
@@ -358,6 +429,16 @@ class Engine:
         """Charge receive overhead and release a rendezvous sender."""
         proc.now += self.network.o_recv
         self.messages_delivered += 1
+        self.bytes_delivered += msg.size
+        if self.sink is not None:
+            self.sink.emit(obs_events.MsgDeliver(
+                time=proc.now, rank=proc.rank, source=msg.source,
+                tag=msg.tag, size=msg.size, seq=msg.seq,
+                latency=proc.now - msg.send_time,
+            ))
+        if self.metrics is not None:
+            self.metrics.counter("engine.bytes.delivered",
+                                 proc.rank).inc(msg.size)
         sender = msg.sync_sender
         if sender is not None:
             # The ack travels back; the sender resumes after its arrival.
@@ -366,6 +447,14 @@ class Engine:
             resume_at = max(proc.now, msg.arrival) + ack_delay
             sender.now = max(sender.now, resume_at)
             sender.blocked = None
+            if self.sink is not None:
+                self.sink.emit(obs_events.ProcWake(
+                    time=sender.now, rank=sender.rank
+                ))
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "engine.rendezvous.stall_time", sender.rank
+                ).observe(sender.now - sender.block_time)
             self._schedule(sender, sender.now)
             msg.sync_sender = None
         return msg
@@ -376,3 +465,19 @@ class Engine:
     def blocked_ranks(self) -> Iterable[int]:
         """Ranks currently blocked (valid only mid-run; for debugging)."""
         return [p.rank for p in self._procs if p.blocked is not None]
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the engine's built-in counters.
+
+        Always available (no sink or registry required); the counters are
+        plain integer adds on paths the engine executes anyway.
+        """
+        return {
+            "num_ranks": len(self._procs),
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+            "rendezvous_stalls": self.rendezvous_stalls,
+            "max_mailbox_depth": self.max_mailbox_depth,
+        }

@@ -26,13 +26,15 @@ accuracy experiments use for scoring.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 import numpy as np
 
 from repro.cluster.topology import Machine
 from repro.errors import SimulationError
+from repro.obs.events import EventSink, get_default_sink
+from repro.obs.metrics import MetricsRegistry, get_default_metrics
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import Engine
 from repro.simmpi.network import NetworkModel
@@ -53,6 +55,12 @@ class SimulationResult:
     clocks: list[HardwareClock]
     #: The machine the job ran on.
     machine: Machine
+    #: Engine counter snapshot (messages/bytes delivered, stalls, ...).
+    engine_stats: dict[str, int] = field(default_factory=dict)
+    #: The event sink the job ran with, if any (holds recorded events).
+    sink: EventSink | None = None
+    #: The metrics registry the job ran with, if any.
+    metrics: MetricsRegistry | None = None
 
     def true_offset(self, rank: int, ref_rank: int, true_time: float) -> float:
         """Ground-truth clock offset ``rank - ref_rank`` at a true time."""
@@ -75,6 +83,8 @@ class Simulation:
         poll_interval: float = 0.1e-6,
         max_true_time: float = 1e7,
         fabric=None,
+        sink: EventSink | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """Set up the job.
 
@@ -87,6 +97,11 @@ class Simulation:
         ``fabric`` optionally prices node pairs with topology-dependent
         extra latency (see :mod:`repro.cluster.fabric`; e.g. a
         :class:`~repro.cluster.fabric.TorusFabric` for Titan's Gemini).
+
+        ``sink``/``metrics`` attach observability (see :mod:`repro.obs`);
+        when omitted, the process-wide defaults installed via
+        ``repro.obs.set_default_sink``/``set_default_metrics`` apply.
+        Observation is passive — results are bit-identical either way.
         """
         if clocks_per not in ("node", "socket", "core"):
             raise SimulationError(
@@ -103,6 +118,10 @@ class Simulation:
         seedseq = np.random.SeedSequence(seed)
         engine_seed, clock_seed = seedseq.spawn(2)
         self.fabric = fabric
+        self.sink = sink if sink is not None else get_default_sink()
+        self.metrics = (
+            metrics if metrics is not None else get_default_metrics()
+        )
         self.engine = Engine(
             network=network,
             level_of=machine.level_between,
@@ -112,6 +131,8 @@ class Simulation:
             extra_node_latency=(
                 fabric.extra_latency if fabric is not None else None
             ),
+            sink=self.sink,
+            metrics=self.metrics,
         )
         clock_rng = np.random.default_rng(clock_seed)
         # One clock per time-source domain; ranks in a domain share it.
@@ -175,4 +196,7 @@ class Simulation:
             messages=self.engine.messages_delivered,
             clocks=self.clocks,
             machine=self.machine,
+            engine_stats=self.engine.stats(),
+            sink=self.sink,
+            metrics=self.metrics,
         )

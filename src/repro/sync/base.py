@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Generator
 
+from repro.obs.sync_stats import SyncStatsCollector
 from repro.simtime.base import Clock
 from repro.sync.offset import OffsetAlgorithm, SKaMPIOffset
 
@@ -28,6 +29,12 @@ class ClockSyncAlgorithm(abc.ABC):
     """
 
     name: str = "sync"
+    #: Per-round instrumentation (see :mod:`repro.obs.sync_stats`).
+    #: ``None`` for algorithms that have nothing to measure.
+    stats: SyncStatsCollector | None = None
+    #: Hierarchy-level tag stamped on recorded rounds ("" for flat runs);
+    #: :class:`~repro.sync.hierarchical.HierarchicalSync` sets it per level.
+    stats_level: str = ""
 
     @abc.abstractmethod
     def sync_clocks(
@@ -39,9 +46,21 @@ class ClockSyncAlgorithm(abc.ABC):
     def label(self) -> str:
         """Canonical label, e.g. ``hca3/recompute_intercept/1000/skampi_offset/100``."""
 
+    def sync_stats_summary(self) -> dict[str, dict[str, float]]:
+        """Aggregated per-level round statistics (empty when untracked)."""
+        if self.stats is None:
+            return {}
+        return self.stats.summary()
+
 
 class ModelLearningSync(ClockSyncAlgorithm):
-    """Base for algorithms built on LEARN_CLOCK_MODEL (JK, HCA*, HCA3)."""
+    """Base for algorithms built on LEARN_CLOCK_MODEL (JK, HCA*, HCA3).
+
+    Every instance carries a :class:`SyncStatsCollector`; each client's
+    LEARN_CLOCK_MODEL round deposits its fit points, RTTs, and residuals
+    there.  The collector is SPMD-shared (all simulated ranks run the same
+    instance) and purely passive.
+    """
 
     def __init__(
         self,
@@ -54,6 +73,7 @@ class ModelLearningSync(ClockSyncAlgorithm):
         self.nfitpoints = nfitpoints
         self.recompute_intercept = recompute_intercept
         self.fitpoint_spacing = fitpoint_spacing
+        self.stats = SyncStatsCollector()
 
     def label(self) -> str:
         parts = [self.name]

@@ -57,6 +57,8 @@ class HCA2Sync(ModelLearningSync):
                 comm, p_ref, rank, clock, self.offset_alg,
                 self.nfitpoints, self.recompute_intercept,
                 self.fitpoint_spacing,
+                stats=self.stats, level=self.stats_level,
+                round_index=0, algorithm=self.name,
             )
             yield from comm.send(p_ref, MODEL_TAG, {rank: lm}, MODEL_BYTES)
         elif rank < nprocs - max_power:
@@ -65,6 +67,8 @@ class HCA2Sync(ModelLearningSync):
                 comm, rank, client, clock, self.offset_alg,
                 self.nfitpoints, self.recompute_intercept,
                 self.fitpoint_spacing,
+                stats=self.stats, level=self.stats_level,
+                round_index=0, algorithm=self.name,
             )
             msg = yield from comm.recv(client, MODEL_TAG)
             models.update(msg.payload)
@@ -83,6 +87,8 @@ class HCA2Sync(ModelLearningSync):
                         comm, rank, client, clock, self.offset_alg,
                         self.nfitpoints, self.recompute_intercept,
                         self.fitpoint_spacing,
+                        stats=self.stats, level=self.stats_level,
+                        round_index=i, algorithm=self.name,
                     )
                     msg = yield from comm.recv(client, MODEL_TAG)
                     incoming: dict[int, LinearDriftModel] = msg.payload
@@ -96,6 +102,8 @@ class HCA2Sync(ModelLearningSync):
                         comm, p_ref, rank, clock, self.offset_alg,
                         self.nfitpoints, self.recompute_intercept,
                         self.fitpoint_spacing,
+                        stats=self.stats, level=self.stats_level,
+                        round_index=i, algorithm=self.name,
                     )
                     payload = {rank: lm}
                     payload.update(models)

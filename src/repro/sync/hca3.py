@@ -63,6 +63,10 @@ class HCA3Sync(ModelLearningSync):
                     self.nfitpoints,
                     self.recompute_intercept,
                     self.fitpoint_spacing,
+                    stats=self.stats,
+                    level=self.stats_level,
+                    round_index=i,
+                    algorithm=self.name,
                 )
             elif rank % running_power == next_power:
                 # Client this round (each process is a client exactly once).
@@ -76,6 +80,10 @@ class HCA3Sync(ModelLearningSync):
                     self.nfitpoints,
                     self.recompute_intercept,
                     self.fitpoint_spacing,
+                    stats=self.stats,
+                    level=self.stats_level,
+                    round_index=i,
+                    algorithm=self.name,
                 )
                 my_clk = GlobalClockLM(clock, lm)
 
@@ -92,6 +100,10 @@ class HCA3Sync(ModelLearningSync):
                 self.nfitpoints,
                 self.recompute_intercept,
                 self.fitpoint_spacing,
+                stats=self.stats,
+                level=self.stats_level,
+                round_index=0,
+                algorithm=self.name,
             )
             my_clk = GlobalClockLM(clock, lm)
         elif rank < nprocs - max_power:
@@ -105,5 +117,9 @@ class HCA3Sync(ModelLearningSync):
                 self.nfitpoints,
                 self.recompute_intercept,
                 self.fitpoint_spacing,
+                stats=self.stats,
+                level=self.stats_level,
+                round_index=0,
+                algorithm=self.name,
             )
         return my_clk

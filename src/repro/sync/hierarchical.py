@@ -97,17 +97,32 @@ class HierarchicalSync(ClockSyncAlgorithm):
             cache["sockleaders"] = comm_sockleaders
         return cache
 
+    def sync_stats_summary(self) -> dict[str, dict[str, float]]:
+        """Per-level round statistics, merged over the child algorithms.
+
+        Levels are labelled ``internode``/``intersocket``/``intranode``
+        (set on the children before each level runs), so the summary keys
+        line up with the scheme's architecture.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for child in (self.inter_node, self.inter_socket, self.intra_node):
+            if child is not None:
+                out.update(child.sync_stats_summary())
+        return out
+
     def sync_clocks(self, comm: "Communicator", clock: Clock) -> Generator:
         comms = yield from self._build_comms(comm)
         comm_internode = comms["internode"]
         # Step 1: synchronization between nodes (leaders only).
         global_clk: Clock = dummy_global_clock(clock)
+        self.inter_node.stats_level = "internode"
         if comm_internode is not None and comm_internode.size > 1:
             global_clk = yield from self.inter_node.sync_clocks(
                 comm_internode, clock
             )
         if self.inter_socket is None:
             # Step 2 (H2HCA): synchronization within each compute node.
+            self.intra_node.stats_level = "intranode"
             comm_intranode = comms["intranode"]
             if comm_intranode.size > 1:
                 global_clk = yield from self.intra_node.sync_clocks(
@@ -115,11 +130,13 @@ class HierarchicalSync(ClockSyncAlgorithm):
                 )
             return global_clk
         # H3HCA: step 2 among socket leaders, step 3 within each socket.
+        self.inter_socket.stats_level = "intersocket"
         comm_sockleaders = comms["sockleaders"]
         if comm_sockleaders is not None and comm_sockleaders.size > 1:
             global_clk = yield from self.inter_socket.sync_clocks(
                 comm_sockleaders, global_clk
             )
+        self.intra_node.stats_level = "intranode"
         comm_intrasocket = comms["intrasocket"]
         if comm_intrasocket.size > 1:
             global_clk = yield from self.intra_node.sync_clocks(

@@ -50,6 +50,10 @@ class JKSync(ModelLearningSync):
                     self.nfitpoints,
                     self.recompute_intercept,
                     self.fitpoint_spacing,
+                    stats=self.stats,
+                    level=self.stats_level,
+                    round_index=client,
+                    algorithm=self.name,
                 )
             return my_clk
         yield from comm.recv(0, GO_TAG)
@@ -62,5 +66,9 @@ class JKSync(ModelLearningSync):
             self.nfitpoints,
             self.recompute_intercept,
             self.fitpoint_spacing,
+            stats=self.stats,
+            level=self.stats_level,
+            round_index=rank,
+            algorithm=self.name,
         )
         return GlobalClockLM(clock, lm)

@@ -19,6 +19,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from repro.errors import SyncError
+from repro.obs.sync_stats import (
+    FitpointSample,
+    SyncRoundRecord,
+    SyncStatsCollector,
+)
 from repro.simtime.base import Clock
 from repro.sync.linear_model import LinearDriftModel
 from repro.sync.offset import OffsetAlgorithm
@@ -62,6 +67,10 @@ def learn_clock_model(
     nfitpoints: int,
     recompute_intercept: bool = False,
     fitpoint_spacing: float = 0.0,
+    stats: SyncStatsCollector | None = None,
+    level: str = "",
+    round_index: int = 0,
+    algorithm: str = "",
 ) -> Generator:
     """Learn the client's drift model relative to ``p_ref``'s clock.
 
@@ -70,6 +79,11 @@ def learn_clock_model(
     passes its *own* current clock: in HCA3 the reference passes its global
     clock model, so the client learns a model directly against the emulated
     global time.
+
+    With ``stats`` set, the client deposits one
+    :class:`~repro.obs.sync_stats.SyncRoundRecord` (fit points with RTTs,
+    fitted model, residuals) tagged with ``level``/``round_index`` —
+    recording is passive and does not alter the measured traffic.
     """
     if nfitpoints < 1:
         raise SyncError("nfitpoints must be >= 1")
@@ -89,15 +103,37 @@ def learn_clock_model(
         )
     xfit = []
     yfit = []
+    samples = []
     for idx in range(nfitpoints):
         measurement = yield from offset_alg.measure_offset(
             comm, clock, p_ref, client
         )
         xfit.append(measurement.timestamp)
         yfit.append(measurement.offset)
+        if stats is not None:
+            samples.append(FitpointSample(
+                timestamp=measurement.timestamp,
+                offset=measurement.offset,
+                rtt=measurement.rtt,
+            ))
         if fitpoint_spacing > 0.0 and idx != nfitpoints - 1:
             yield from comm.ctx.elapse(fitpoint_spacing)
     lm = LinearDriftModel.fit(xfit, yfit)
+    if stats is not None:
+        residuals = tuple(
+            y - lm.offset_at(x) for x, y in zip(xfit, yfit)
+        )
+        stats.record(SyncRoundRecord(
+            algorithm=algorithm or offset_alg.name,
+            level=level,
+            round_index=round_index,
+            ref_rank=comm.global_rank(p_ref),
+            client_rank=comm.global_rank(client),
+            fitpoints=tuple(samples),
+            slope=lm.slope,
+            intercept=lm.intercept,
+            residuals=residuals,
+        ))
     if recompute_intercept:
         lm = yield from compute_and_set_intercept(
             comm, lm, clock, p_ref, client, offset_alg

@@ -45,6 +45,9 @@ class ClockOffset:
 
     timestamp: float
     offset: float
+    #: Observed round-trip time while measuring (diagnostics; the minimum
+    #: over the exchanges for SKaMPI, the cached estimate for Mean-RTT).
+    rtt: float | None = None
 
 
 class OffsetAlgorithm(abc.ABC):
@@ -101,6 +104,7 @@ class SKaMPIOffset(OffsetAlgorithm):
         # td_min/td_max bound (ref - client); names follow the paper.
         td_min = -np.inf
         td_max = np.inf
+        rtt_min = np.inf
         for _ in range(self.nexchanges):
             s_last = ctx.read_clock(clock)
             yield from comm.send(p_ref, PINGPONG_TAG, s_last, TIMESTAMP_BYTES)
@@ -109,9 +113,12 @@ class SKaMPIOffset(OffsetAlgorithm):
             s_now = ctx.read_clock(clock)
             td_min = max(td_min, t_last - s_now)
             td_max = min(td_max, t_last - s_last)
+            rtt_min = min(rtt_min, s_now - s_last)
         diff = (td_min + td_max) / 2.0  # estimate of (ref - client)
         timestamp = ctx.read_clock(clock)
-        return ClockOffset(timestamp=timestamp, offset=-diff)
+        return ClockOffset(
+            timestamp=timestamp, offset=-diff, rtt=float(rtt_min)
+        )
 
 
 class MeanRTTOffset(OffsetAlgorithm):
@@ -198,6 +205,7 @@ class MeanRTTOffset(OffsetAlgorithm):
         return ClockOffset(
             timestamp=float(local_times[med_idx]),
             offset=float(time_var[med_idx]),
+            rtt=float(rtt),
         )
 
 

@@ -17,15 +17,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simmpi.comm import Communicator
 
 
+#: Wire bytes one serialized TraceEvent occupies in a post-mortem gather.
+EVENT_WIRE_BYTES = 32
+#: User tag of the post-mortem event-gather traffic.
+GATHER_TAG = 11
+
+
 @dataclass(frozen=True)
 class TraceEvent:
-    """One traced MPI call on one process (timestamps = clock readings)."""
+    """One traced MPI call on one process (timestamps = clock readings).
+
+    ``true_start``/``true_end`` additionally carry the ground-truth
+    simulation times of the clock reads (never observable by a real
+    tracer); :mod:`repro.obs.chrome_trace` uses them to re-read the same
+    span through a *different* clock — the raw-vs-corrected trace diff of
+    the paper's Fig. 10.
+    """
 
     name: str
     rank: int
     iteration: int
     start: float
     end: float
+    true_start: float | None = None
+    true_end: float | None = None
 
     @property
     def duration(self) -> float:
@@ -52,6 +67,7 @@ class Tracer:
         iteration = self._counters.get(name, 0)
         self._counters[name] = iteration + 1
         start = comm.ctx.read_clock(self.clock)
+        true_start = comm.ctx.now
         result = yield from operation(comm)
         end = comm.ctx.read_clock(self.clock)
         self.events.append(
@@ -61,18 +77,28 @@ class Tracer:
                 iteration=iteration,
                 start=start,
                 end=end,
+                true_start=true_start,
+                true_end=comm.ctx.now,
             )
         )
         return result
 
     def gather_events(self, comm: "Communicator") -> Generator:
-        """Collect all ranks' events at the root (post-mortem merge)."""
-        gathered = yield from comm.gather(
-            self.events, root=0, size=32 * max(1, len(self.events))
-        )
+        """Collect all ranks' events at the root (post-mortem merge).
+
+        Gatherv-style: each rank's contribution is charged on the wire by
+        *its own* event count (a uniform-size gather would let ranks with
+        many events under-charge whenever counts are imbalanced — e.g.
+        conditional instrumentation or mid-run rank joins).
+        """
         if comm.rank != 0:
+            yield from comm.send(
+                0, GATHER_TAG, self.events,
+                EVENT_WIRE_BYTES * max(1, len(self.events)),
+            )
             return None
-        merged: list[TraceEvent] = []
-        for events in gathered:
-            merged.extend(events)
+        merged: list[TraceEvent] = list(self.events)
+        for peer in range(1, comm.size):
+            msg = yield from comm.recv(peer, GATHER_TAG)
+            merged.extend(msg.payload)
         return merged

@@ -1,7 +1,6 @@
 """Tests for barrier-exit imbalance measurement (Fig. 8 machinery)."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.imbalance import measure_barrier_imbalance
 from repro.cluster.netmodels import infiniband_qdr

@@ -1,6 +1,5 @@
 """Tests for the reporting helpers."""
 
-import math
 
 import pytest
 

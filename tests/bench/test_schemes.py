@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bench.schemes import BarrierScheme, RoundTimeScheme, WindowScheme
-from repro.cluster.netmodels import ideal_network, infiniband_qdr
+from repro.cluster.netmodels import infiniband_qdr
 from repro.errors import ConfigurationError
 from repro.simtime.sources import CLOCK_GETTIME
 from repro.sync.hierarchical import h2hca

@@ -1,6 +1,5 @@
 """Unit tests for the Table I machine presets."""
 
-import pytest
 
 from repro.cluster.machines import HYDRA, JUPITER, MACHINES, TITAN
 from repro.simmpi.network import Level

@@ -8,7 +8,6 @@ simulator-scale, not testbed values.  EXPERIMENTS.md records both.
 from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
     fig2_drift,

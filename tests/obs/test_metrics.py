@@ -1,0 +1,120 @@
+"""Metrics primitives, registry aggregation, and engine integration."""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_metrics,
+    format_summary,
+    get_default_metrics,
+)
+from tests.conftest import run_spmd
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_tracks_extremes(self):
+        g = Gauge()
+        for v in (3.0, -1.0, 2.0):
+            g.set(v)
+        assert g.value == 2.0
+        assert g.max_value == 3.0
+        assert g.min_value == -1.0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.mean == 50.5
+        assert h.min_value == 1.0
+        assert h.max_value == 100.0
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_histogram_sample_buffer_bounded(self):
+        h = Histogram(max_samples=10)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert len(h._samples) == 10
+        assert h.max_value == 999.0
+
+    def test_histogram_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == 4.0
+        assert a.max_value == 3.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", rank=1) is not reg.counter("x", rank=2)
+
+    def test_merged_counter_folds_ranks(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", rank=0).inc(10)
+        reg.counter("bytes", rank=1).inc(20)
+        reg.counter("bytes").inc(5)
+        assert reg.merged_counter("bytes") == 35
+        assert reg.ranks_of("bytes") == [0, 1]
+
+    def test_merged_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", rank=0).observe(1.0)
+        reg.histogram("lat", rank=1).observe(5.0)
+        merged = reg.merged_histogram("lat")
+        assert merged.count == 2
+        assert merged.max_value == 5.0
+
+    def test_snapshot_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("a", rank=3).inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["a[rank=3]"] == 1.0
+        assert snap["gauges"]["g"]["value"] == 1.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_format_summary_filters(self):
+        reg = MetricsRegistry()
+        reg.counter("keep", rank=0).inc(7)
+        reg.counter("drop").inc(9)
+        text = format_summary(reg, names=["keep"])
+        assert "keep[rank=0]: 7" in text
+        assert "drop" not in text
+
+
+class TestEngineIntegration:
+    def test_engine_publishes_byte_counters(self):
+        reg = MetricsRegistry()
+
+        def body(ctx, comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            yield from comm.send(right, 3, None, 256)
+            yield from comm.recv(left, 3)
+
+        with default_metrics(reg):
+            run_spmd(body)
+        assert reg.merged_counter("engine.bytes.sent") == 4 * 256
+        assert reg.merged_counter("engine.bytes.delivered") == 4 * 256
+        assert reg.ranks_of("engine.bytes.sent") == [0, 1, 2, 3]
+
+    def test_default_registry_restored(self):
+        assert get_default_metrics() is None
+        with default_metrics(MetricsRegistry()):
+            assert get_default_metrics() is not None
+        assert get_default_metrics() is None

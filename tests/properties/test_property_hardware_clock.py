@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simtime.drift import ConstantDrift, RandomWalkDrift
+from repro.simtime.drift import RandomWalkDrift
 from repro.simtime.hardware import HardwareClock
 from repro.sync.clocks import (
     GlobalClockLM,

@@ -38,7 +38,7 @@ class TestCausalityGate:
                 yield from comm.send_raw(2, 101, None, 8)
                 return None
             # Receiver on node 2.
-            msg_early = yield from comm.recv_raw(1, 101)
+            yield from comm.recv_raw(1, 101)
             t_early = ctx.now
             yield from comm.recv_raw(0, 100)
             t_late = ctx.now
@@ -100,7 +100,6 @@ class TestCongestionJitter:
             if ctx.node == 0:
                 yield from comm.send_raw(comm.rank + n, 5, None, 8)
                 return None
-            arrivals = []
             yield from comm.recv_raw(comm.rank - n, 5)
             return ctx.now
 

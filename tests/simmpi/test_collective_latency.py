@@ -5,7 +5,6 @@ relies on (not just value correctness): tree-shaped collectives beat flat
 ones at scale, message size increases cost, and so on.
 """
 
-import pytest
 
 from repro.simmpi.network import Level, LinkParams, NetworkModel
 from tests.conftest import run_spmd

@@ -1,6 +1,5 @@
 """Unit tests for communicators: translation, tags, split."""
 
-import pytest
 
 from repro.errors import CommunicatorError
 from repro.simmpi.comm import MAX_USER_TAG, Communicator

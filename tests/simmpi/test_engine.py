@@ -257,6 +257,51 @@ class TestLifecycle:
             engine.add_process()
 
 
+class TestStats:
+    def test_bytes_delivered_and_stats_snapshot(self):
+        engine = make_engine()
+
+        def sender():
+            yield SendCmd(dest=1, tag=1, payload="a", size=100)
+            yield SendCmd(dest=1, tag=1, payload="b", size=28)
+
+        def receiver():
+            yield RecvCmd(source=0, tag=1)
+            yield RecvCmd(source=0, tag=1)
+
+        engine.bind(0, sender())
+        engine.bind(1, receiver())
+        engine.run()
+        assert engine.bytes_delivered == 128
+        stats = engine.stats()
+        assert stats == {
+            "num_ranks": 2,
+            "messages_sent": 2,
+            "messages_delivered": 2,
+            "bytes_sent": 128,
+            "bytes_delivered": 128,
+            "rendezvous_stalls": 0,
+            "max_mailbox_depth": stats["max_mailbox_depth"],
+        }
+        assert stats["max_mailbox_depth"] >= 0
+
+    def test_rendezvous_stall_counted(self):
+        engine = make_engine()
+
+        def sender():
+            yield SendCmd(dest=1, tag=1, payload=None, size=8,
+                          synchronous=True)
+
+        def receiver():
+            yield ElapseCmd(1.0)
+            yield RecvCmd(source=0, tag=1)
+
+        engine.bind(0, sender())
+        engine.bind(1, receiver())
+        engine.run()
+        assert engine.stats()["rendezvous_stalls"] == 1
+
+
 class TestDeterminism:
     def _run_once(self, seed):
         from repro.cluster.netmodels import infiniband_qdr

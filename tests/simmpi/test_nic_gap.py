@@ -1,6 +1,5 @@
 """Tests for per-node NIC serialization (the Fig. 7/8 contention model)."""
 
-import pytest
 
 from repro.simmpi.network import Level, LinkParams, NetworkModel
 from tests.conftest import run_spmd

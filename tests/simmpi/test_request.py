@@ -1,6 +1,5 @@
 """Unit tests for the nonblocking p2p layer."""
 
-import pytest
 
 from repro.errors import SimulationError
 from repro.simmpi.request import irecv, isend, waitall

@@ -8,7 +8,6 @@ from repro.simtime.sources import (
     CLOCK_GETTIME,
     GETTIMEOFDAY,
     MPI_WTIME,
-    TimeSourceSpec,
     make_clock,
     make_node_clocks,
 )

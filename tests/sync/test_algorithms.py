@@ -8,7 +8,7 @@ non-power-of-two process counts.
 import pytest
 
 from repro.analysis.accuracy import ground_truth_accuracy
-from repro.cluster.netmodels import ideal_network, infiniband_qdr
+from repro.cluster.netmodels import infiniband_qdr
 from repro.simtime.sources import CLOCK_GETTIME
 from repro.sync import (
     HCA2Sync,

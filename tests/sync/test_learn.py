@@ -4,8 +4,6 @@ import pytest
 
 from repro.cluster.netmodels import ideal_network
 from repro.errors import SyncError
-from repro.simtime.drift import ConstantDrift
-from repro.simtime.hardware import HardwareClock
 from repro.sync.learn import learn_clock_model
 from repro.sync.linear_model import LinearDriftModel
 from repro.sync.offset import SKaMPIOffset

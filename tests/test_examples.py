@@ -1,5 +1,6 @@
 """Smoke tests: the example scripts run cleanly end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,14 +8,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
-def run_example(name: str, timeout: float = 240.0):
+def run_example(name: str, timeout: float = 240.0, cwd=None):
+    # Absolute src path so examples import repro from any working dir.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        cwd=cwd,
+        env=env,
     )
 
 
@@ -36,6 +45,14 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "H3HCA" in result.stdout
         assert "incorrect" in result.stdout
+
+    def test_inspect_run(self, tmp_path):
+        result = run_example("inspect_run.py", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "engine events" in result.stdout
+        assert "sync rounds" in result.stdout
+        assert (tmp_path / "inspect_raw_local_clock.json").exists()
+        assert (tmp_path / "inspect_global_clock.json").exists()
 
     @pytest.mark.slow
     def test_tune_allreduce(self):

@@ -111,7 +111,7 @@ class TestFullCampaign:
 
         def probe(ctx, comm):
             sync = h2hca(nfitpoints=15, fitpoint_spacing=1e-3)
-            g_clk = yield from sync.sync_clocks(comm, ctx.hardware_clock)
+            yield from sync.sync_clocks(comm, ctx.hardware_clock)
             return ctx.now
 
         sim_a = Simulation(machine=machine, network=JUPITER.network(),

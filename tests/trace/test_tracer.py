@@ -1,6 +1,5 @@
 """Tests for the tracing layer and the AMG mini-app workload."""
 
-import pytest
 
 from repro.cluster.netmodels import infiniband_qdr
 from repro.simtime.sources import CLOCK_GETTIME

@@ -6,7 +6,6 @@ from repro.cluster.machines import JUPITER
 from repro.errors import ConfigurationError
 from repro.simtime.sources import CLOCK_GETTIME
 from repro.tuning.tuner import (
-    TuningResult,
     collective_operation,
     tune_collective,
 )

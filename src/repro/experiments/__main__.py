@@ -24,6 +24,7 @@ import time
 from repro.obs.events import CountingSink, default_sink
 from repro.obs.metrics import MetricsRegistry, default_metrics, format_summary
 from repro.experiments import (
+    fault_recovery,
     fig2_drift,
     fig3_flat_algorithms,
     fig4_hier_jupiter,
@@ -35,6 +36,7 @@ from repro.experiments import (
     fig10_tracing,
     table1_machines,
 )
+from repro.faults.scenarios import SCENARIOS
 
 
 def _run_table1(scale: str, seed: int) -> str:
@@ -60,6 +62,10 @@ def _simple(module):
 TARGETS = {
     "table1": _run_table1,
     "fig2": _run_fig2,
+    # fault_recovery honours --scenario; main() threads it through.
+    "fault_recovery": lambda scale, seed: fault_recovery.format_result(
+        fault_recovery.run(scale=scale, seed=seed)
+    ),
     "fig3": _simple(fig3_flat_algorithms),
     "fig4": _simple(fig4_hier_jupiter),
     "fig5": _simple(fig5_hier_hydra),
@@ -95,7 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-trace-dir",
         metavar="DIR",
         help="with the fig10 target: also export the traced AMG run as "
-             "Chrome trace JSON (raw local clocks + H2HCA global clocks)",
+             "Chrome trace JSON (raw local clocks + H2HCA global clocks); "
+             "with fault_recovery: export the faulted run with fault spans",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=fault_recovery.DEFAULT_SCENARIO,
+        choices=sorted(SCENARIOS),
+        help="fault scenario for the fault_recovery target",
     )
     return parser
 
@@ -136,7 +149,13 @@ def main(argv: list[str] | None = None) -> int:
     def run_targets() -> None:
         for name in targets:
             t0 = time.time()
-            output = TARGETS[name](args.scale, args.seed)
+            if name == "fault_recovery":
+                output = fault_recovery.format_result(fault_recovery.run(
+                    scale=args.scale, seed=args.seed,
+                    scenario=args.scenario,
+                ))
+            else:
+                output = TARGETS[name](args.scale, args.seed)
             print(output)
             print(f"[{name}: {time.time() - t0:.1f}s]\n")
         if args.chrome_trace_dir and (
@@ -145,6 +164,16 @@ def main(argv: list[str] | None = None) -> int:
             _export_chrome_traces(
                 args.chrome_trace_dir, args.scale, args.seed
             )
+        if args.chrome_trace_dir and "fault_recovery" in targets:
+            info = fault_recovery.export_chrome_traces(
+                args.chrome_trace_dir, scale=args.scale, seed=args.seed,
+                scenario=args.scenario,
+            )
+            print("=== fault-recovery chrome trace "
+                  "(load in https://ui.perfetto.dev) ===")
+            print(f"{info['path']}: {info['records']} records, "
+                  f"{info['fault_events']} fault spans, "
+                  f"{info['resync_events']} resync rounds")
 
     if args.obs_summary:
         sink = CountingSink()

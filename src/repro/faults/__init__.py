@@ -1,0 +1,51 @@
+"""Fault injection: scheduled clock/network/process perturbations.
+
+The paper bounds the validity of a linear clock model to ~0–20 s
+(Section III-C2) and motivates periodic re-synchronization because real
+clocks and networks misbehave.  This package provides the controlled
+misbehaviour: typed fault events (:mod:`repro.faults.model`), a
+deterministic scenario container (:mod:`repro.faults.schedule`), the
+engine-side injector (:mod:`repro.faults.injector`), preset scenarios
+(:mod:`repro.faults.scenarios`), and a recovery-evaluation harness
+(:mod:`repro.faults.evaluate`).
+
+Usage::
+
+    from repro.faults import make_scenario
+    from repro.simmpi import Simulation
+
+    sim = Simulation(machine=..., network=..., seed=42,
+                     faults=make_scenario("ntp_step"))
+
+Every injection lands at an exact virtual time, is reproducible from the
+simulation seed, and is emitted through the :mod:`repro.obs` event
+stream so Perfetto traces show fault windows as spans.
+"""
+
+from repro.faults.model import (
+    ClockFrequencyFault,
+    ClockStepFault,
+    Fault,
+    LinkFault,
+    NicStormFault,
+    StragglerFault,
+    fault_from_dict,
+)
+from repro.faults.injector import FaultInjector, apply_clock_faults
+from repro.faults.schedule import FaultSchedule
+from repro.faults.scenarios import SCENARIOS, make_scenario
+
+__all__ = [
+    "ClockFrequencyFault",
+    "ClockStepFault",
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkFault",
+    "NicStormFault",
+    "SCENARIOS",
+    "StragglerFault",
+    "apply_clock_faults",
+    "fault_from_dict",
+    "make_scenario",
+]

@@ -1,0 +1,244 @@
+"""Recovery evaluation: how does a sync scheme ride through a fault?
+
+The harness runs one simulated job through a fault scenario while a
+synchronization policy maintains a global clock — either a single
+up-front sync (the baseline whose linear model the fault invalidates) or
+a :class:`~repro.sync.resync.PeriodicResyncClock` (the paper's
+future-work extension).  After the run it samples the *ground-truth*
+global-clock error (max spread of the per-rank global clocks, evaluated
+through the simulator's oracle clocks) on a regular true-time grid and
+aggregates it per phase: **before** the first fault, **during** any
+fault window, and **after** the last fault ends.
+
+The headline comparison (:func:`compare_recovery`): after an ``ntp_step``
+fault the error stays bounded with periodic resync but jumps and stays
+high without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.netmodels import infiniband_qdr
+from repro.cluster.topology import Machine
+from repro.faults.schedule import FaultSchedule
+from repro.obs.events import EventSink
+from repro.obs.metrics import MetricsRegistry
+from repro.simmpi.network import NetworkModel
+from repro.simmpi.simulation import Simulation
+from repro.simtime.base import Clock
+from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
+from repro.sync.base import ClockSyncAlgorithm
+from repro.sync.hierarchical import h2hca
+from repro.sync.resync import PeriodicResyncClock
+
+#: Default time source: drifty enough that staleness matters in tens of
+#: seconds (mirrors the fast-drift preset of the resync tests).
+FAULTY_TIME = CLOCK_GETTIME.with_(skew_walk_sigma=5e-7)
+
+
+def default_algorithm() -> ClockSyncAlgorithm:
+    """Small H2HCA configuration suited to smoke-scale fault runs."""
+    return h2hca(nfitpoints=10, fitpoint_spacing=1e-4)
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Error statistics of one evaluation phase (before/during/after)."""
+
+    nsamples: int
+    max_error: float
+    mean_error: float
+    p95_error: float
+
+    @classmethod
+    def from_errors(cls, errors: list[float]) -> "PhaseStats":
+        if not errors:
+            return cls(0, float("nan"), float("nan"), float("nan"))
+        arr = np.asarray(errors)
+        return cls(
+            nsamples=len(errors),
+            max_error=float(arr.max()),
+            mean_error=float(arr.mean()),
+            p95_error=float(np.percentile(arr, 95)),
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one policy (resync or baseline) through one scenario."""
+
+    scenario: str
+    algorithm: str
+    #: ``None`` for the sync-once baseline.
+    resync_age: float | None
+    seed: int
+    horizon: float
+    sample_interval: float
+    #: phase name ("before"/"during"/"after") → error statistics.
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+    #: (true_time, max global-clock spread) samples, in time order.
+    samples: list[tuple[float, float]] = field(default_factory=list)
+    resync_rounds: int = 0
+    engine_stats: dict[str, int] = field(default_factory=dict)
+
+    def tail_max(self, fraction: float = 0.25) -> float:
+        """Max error over the trailing ``fraction`` of the horizon.
+
+        The tail excludes the immediate post-fault transient (the rounds
+        before the next resync lands), so it measures the *recovered*
+        steady state.
+        """
+        cutoff = self.horizon * (1.0 - fraction)
+        tail = [err for t, err in self.samples if t >= cutoff]
+        return max(tail) if tail else float("nan")
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "algorithm": self.algorithm,
+            "resync_age": self.resync_age,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "resync_rounds": self.resync_rounds,
+            "phases": {
+                name: vars(stats) for name, stats in self.phases.items()
+            },
+        }
+
+
+def _phase_of(t: float, window: tuple[float, float] | None) -> str:
+    if window is None:
+        return "before"
+    start, end = window
+    if t < start:
+        return "before"
+    if t > end:
+        return "after"
+    return "during"
+
+
+def run_recovery(
+    scenario: FaultSchedule,
+    resync_age: float | None,
+    algorithm_factory: Callable[[], ClockSyncAlgorithm] = default_algorithm,
+    horizon: float = 60.0,
+    sample_interval: float = 1.0,
+    ensure_interval: float = 2.0,
+    num_nodes: int = 4,
+    ranks_per_node: int = 2,
+    network: NetworkModel | None = None,
+    time_source: TimeSourceSpec | None = None,
+    seed: int = 0,
+    sink: EventSink | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> RecoveryReport:
+    """Run one policy through ``scenario`` and score its recovery.
+
+    ``resync_age=None`` syncs once at t≈0 and never again (baseline);
+    otherwise each rank holds a :class:`PeriodicResyncClock` with that
+    ``max_model_age`` and calls ``ensure`` every ``ensure_interval``
+    seconds of simulated time until ``horizon``.
+    """
+    machine = Machine(
+        num_nodes=num_nodes,
+        sockets_per_node=1,
+        cores_per_socket=ranks_per_node,
+        ranks_per_node=ranks_per_node,
+        name="faultbox",
+    )
+    sim = Simulation(
+        machine=machine,
+        network=network or infiniband_qdr(),
+        time_source=time_source or FAULTY_TIME,
+        seed=seed,
+        faults=scenario,
+        sink=sink,
+        metrics=metrics,
+    )
+    #: rank → [(true time acquired, global clock)], newest last.
+    records: dict[int, list[tuple[float, Clock]]] = {}
+    resyncs: dict[int, PeriodicResyncClock] = {}
+    shared_algorithm = algorithm_factory()  # baseline: one SPMD instance
+
+    def main(ctx, comm):
+        recs = records.setdefault(ctx.rank, [])
+        if resync_age is None:
+            clock = yield from shared_algorithm.sync_clocks(
+                comm, ctx.hardware_clock
+            )
+            recs.append((ctx.now, clock))
+            yield from ctx.wait_until_true(horizon)
+            return 0
+        resync = resyncs.setdefault(
+            ctx.rank,
+            PeriodicResyncClock(
+                algorithm_factory(), max_model_age=resync_age
+            ),
+        )
+        while True:
+            clock = yield from resync.ensure(comm, ctx)
+            if not recs or recs[-1][1] is not clock:
+                recs.append((ctx.now, clock))
+            if ctx.now >= horizon:
+                return resync.resync_count
+            yield from ctx.elapse(ensure_interval)
+
+    result = sim.run(main)
+    label = (
+        resyncs[0].label() if resync_age is not None
+        else shared_algorithm.label()
+    )
+    report = RecoveryReport(
+        scenario=scenario.name,
+        algorithm=label,
+        resync_age=resync_age,
+        seed=seed,
+        horizon=horizon,
+        sample_interval=sample_interval,
+        resync_rounds=max(result.values) if resync_age is not None else 1,
+        engine_stats=result.engine_stats,
+    )
+
+    # ------------------------------------------------------------------
+    # Ground-truth scoring on a regular true-time grid.
+    # ------------------------------------------------------------------
+    ranks = sorted(records)
+    t_ready = max(recs[0][0] for recs in records.values())
+    first = int(np.ceil(t_ready / sample_interval)) + 1
+    window = scenario.window()
+    errors: dict[str, list[float]] = {"before": [], "during": [], "after": []}
+    for i in range(first, int(horizon / sample_interval) + 1):
+        t = i * sample_interval
+        readings = []
+        for rank in ranks:
+            clock = None
+            for acquired, c in records[rank]:
+                if acquired <= t:
+                    clock = c
+                else:
+                    break
+            assert clock is not None
+            readings.append(clock.read(t))
+        err = max(readings) - min(readings)
+        report.samples.append((t, err))
+        errors[_phase_of(t, window)].append(err)
+    report.phases = {
+        name: PhaseStats.from_errors(vals) for name, vals in errors.items()
+    }
+    return report
+
+
+def compare_recovery(
+    scenario: FaultSchedule,
+    resync_age: float = 8.0,
+    **kwargs,
+) -> dict[str, RecoveryReport]:
+    """Run the same scenario + seed with and without periodic resync."""
+    return {
+        "baseline": run_recovery(scenario, resync_age=None, **kwargs),
+        "resync": run_recovery(scenario, resync_age=resync_age, **kwargs),
+    }

@@ -1,0 +1,278 @@
+"""Typed fault events and their dict round-trip.
+
+Each fault is a frozen dataclass with a ``kind`` tag, a ``start`` true
+time, a ``duration`` (0 for instantaneous faults), and a target.  The
+five kinds mirror the disturbances related work injects to stress sync
+algorithms (HyNTP's perturbation rejection, Skewless' frequency steps):
+
+* :class:`ClockStepFault` — NTP-discipline jump of a node clock's reading.
+* :class:`ClockFrequencyFault` — windowed skew excursion (thermal ramp)
+  wrapped around any :class:`~repro.simtime.drift.DriftModel`.
+* :class:`LinkFault` — time-windowed degradation of network delay draws
+  (latency multiplier, extra jitter, extra outliers → congestion bursts).
+* :class:`NicStormFault` — a node's NIC serialization gap grows, building
+  backlog storms on inter-node traffic.
+* :class:`StragglerFault` — a rank/node computes slower (plus optional
+  exponential OS noise) during the window.
+
+``to_dict``/:func:`fault_from_dict` round-trip every fault through plain
+dicts (and therefore JSON) for scenario files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+from repro.errors import ConfigurationError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class _FaultBase:
+    """Shared fields/validation of every fault type."""
+
+    kind: ClassVar[str] = "fault"
+    start: float
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0, f"fault start must be >= 0: {self}")
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    @property
+    def end(self) -> float:
+        """True time at which the fault stops acting."""
+        return self.start + self.duration
+
+    def active(self, true_time: float) -> bool:
+        """Whether the fault's window covers ``true_time``."""
+        return self.start <= true_time < self.end
+
+    def target(self) -> str:
+        """Human-readable target descriptor (for obs events)."""
+        return "cluster"
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        out.update(dataclasses.asdict(self))
+        return out
+
+
+@dataclass(frozen=True)
+class ClockStepFault(_FaultBase):
+    """Instantaneous jump of a node clock's reading (NTP step).
+
+    ``step`` is the jump in seconds (negative = backward step, making
+    local time non-monotonic as real NTP steps do).  ``node=None``
+    steps every node's clock.
+    """
+
+    kind: ClassVar[str] = "clock_step"
+    step: float = 0.0
+    node: int | None = None
+    name: str = "clock_step"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.step != 0.0, "clock step must be non-zero")
+
+    def target(self) -> str:
+        return "cluster" if self.node is None else f"node:{self.node}"
+
+
+@dataclass(frozen=True)
+class ClockFrequencyFault(_FaultBase):
+    """Windowed oscillator-frequency excursion (thermal event).
+
+    During ``[start, start + length)`` the node clock's skew is shifted
+    by up to ``skew_delta`` (dimensionless; 5e-6 = 5 ppm).  ``shape`` is
+    ``"flat"`` (sudden plateau) or ``"triangle"`` (thermal ramp up and
+    back down).  The excursion wraps whatever drift model the clock
+    already has.
+    """
+
+    kind: ClassVar[str] = "clock_freq"
+    length: float = 0.0
+    skew_delta: float = 0.0
+    node: int | None = None
+    shape: str = "triangle"
+    name: str = "clock_freq"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.length > 0.0, "clock_freq length must be > 0")
+        _require(self.skew_delta != 0.0, "skew_delta must be non-zero")
+        _require(
+            self.shape in ("flat", "triangle"),
+            f"unknown excursion shape {self.shape!r}",
+        )
+
+    @property
+    def duration(self) -> float:
+        return self.length
+
+    def target(self) -> str:
+        return "cluster" if self.node is None else f"node:{self.node}"
+
+
+@dataclass(frozen=True)
+class LinkFault(_FaultBase):
+    """Windowed degradation of the network's delay draws.
+
+    Within the window, every delay drawn at a matching topology level is
+    multiplied by ``latency_factor``, then gains an exponential jitter
+    term of mean ``jitter`` seconds, and with probability
+    ``outlier_prob`` an exponential outlier of mean ``outlier_scale``.
+    ``level=None`` degrades every level ("the switch is struggling");
+    ``level="REMOTE"`` degrades only inter-node traffic.
+    """
+
+    kind: ClassVar[str] = "link"
+    length: float = 0.0
+    level: str | None = None
+    latency_factor: float = 1.0
+    jitter: float = 0.0
+    outlier_prob: float = 0.0
+    outlier_scale: float = 0.0
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.length > 0.0, "link fault length must be > 0")
+        _require(self.latency_factor > 0.0, "latency_factor must be > 0")
+        _require(self.jitter >= 0.0, "jitter must be >= 0")
+        _require(
+            0.0 <= self.outlier_prob <= 1.0, "outlier_prob must be in [0, 1]"
+        )
+        _require(self.outlier_scale >= 0.0, "outlier_scale must be >= 0")
+        _require(
+            self.latency_factor != 1.0
+            or self.jitter > 0.0
+            or self.outlier_prob > 0.0,
+            "link fault must perturb something",
+        )
+
+    @property
+    def duration(self) -> float:
+        return self.length
+
+    def target(self) -> str:
+        return "links" if self.level is None else f"level:{self.level}"
+
+
+@dataclass(frozen=True)
+class NicStormFault(_FaultBase):
+    """A node NIC's serialization gap grows by ``gap_factor`` (backlog storm).
+
+    Only affects inter-node traffic of networks with ``nic_gap > 0``;
+    ``node=None`` hits every NIC (fabric-wide incast).
+    """
+
+    kind: ClassVar[str] = "nic_storm"
+    length: float = 0.0
+    node: int | None = None
+    gap_factor: float = 4.0
+    name: str = "nic_storm"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.length > 0.0, "nic_storm length must be > 0")
+        _require(self.gap_factor > 1.0, "gap_factor must be > 1")
+
+    @property
+    def duration(self) -> float:
+        return self.length
+
+    def target(self) -> str:
+        return "all-nics" if self.node is None else f"node:{self.node}"
+
+
+@dataclass(frozen=True)
+class StragglerFault(_FaultBase):
+    """A rank (or a whole node) computes slower during the window.
+
+    Every ``elapse`` of a matching process is multiplied by ``slowdown``
+    and gains an exponential noise term of mean ``noise`` seconds —
+    injected OS/daemon interference.  Target with ``rank`` or ``node``
+    (``rank`` wins if both are given; both ``None`` slows everyone).
+    """
+
+    kind: ClassVar[str] = "straggler"
+    length: float = 0.0
+    rank: int | None = None
+    node: int | None = None
+    slowdown: float = 1.0
+    noise: float = 0.0
+    name: str = "straggler"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.length > 0.0, "straggler length must be > 0")
+        _require(self.slowdown >= 1.0, "slowdown must be >= 1")
+        _require(self.noise >= 0.0, "noise must be >= 0")
+        _require(
+            self.slowdown > 1.0 or self.noise > 0.0,
+            "straggler fault must slow something down",
+        )
+
+    @property
+    def duration(self) -> float:
+        return self.length
+
+    def matches(self, rank: int, node: int) -> bool:
+        if self.rank is not None:
+            return rank == self.rank
+        if self.node is not None:
+            return node == self.node
+        return True
+
+    def target(self) -> str:
+        if self.rank is not None:
+            return f"rank:{self.rank}"
+        if self.node is not None:
+            return f"node:{self.node}"
+        return "all-ranks"
+
+
+Fault = Union[
+    ClockStepFault,
+    ClockFrequencyFault,
+    LinkFault,
+    NicStormFault,
+    StragglerFault,
+]
+
+FAULT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        ClockStepFault,
+        ClockFrequencyFault,
+        LinkFault,
+        NicStormFault,
+        StragglerFault,
+    )
+}
+
+
+def fault_from_dict(data: dict) -> Fault:
+    """Reconstruct a fault from its ``to_dict`` form."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    try:
+        cls = FAULT_TYPES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault kind {kind!r}; known: {sorted(FAULT_TYPES)}"
+        ) from None
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad fields for {kind!r}: {exc}") from None

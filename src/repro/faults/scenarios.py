@@ -1,0 +1,157 @@
+"""Preset fault scenarios.
+
+Each factory returns a :class:`~repro.faults.schedule.FaultSchedule`
+shaped after a disturbance class from the literature:
+
+* ``ntp_step`` — an NTP daemon steps one node's clock mid-run (the
+  discipline jump that instantly invalidates a fitted linear model).
+* ``thermal_cycle`` — a machine-room temperature swing bends one node's
+  oscillator frequency over tens of seconds (Fig. 2's non-linearity,
+  concentrated into a window).
+* ``congestion_burst`` — inter-node links suffer a latency/jitter storm
+  plus NIC backlog build-up (the outliers that invalidate window-based
+  measurement, Section II).
+* ``straggler_node`` — one node computes slower with heavy OS noise
+  (the imbalance source of Figs. 7–8, but asymmetric).
+
+Factories take explicit times/magnitudes so experiments can scale them;
+the defaults fit a 60–120 s evaluation horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.faults.model import (
+    ClockFrequencyFault,
+    ClockStepFault,
+    LinkFault,
+    NicStormFault,
+    StragglerFault,
+)
+from repro.faults.schedule import FaultSchedule
+
+
+def ntp_step(
+    at: float = 20.0, step: float = 500e-6, node: int = 1
+) -> FaultSchedule:
+    """One clock step of ``step`` seconds on ``node`` at true time ``at``."""
+    return FaultSchedule(
+        name="ntp_step",
+        description=(
+            f"NTP discipline jump: node {node} clock steps by {step:g}s "
+            f"at t={at:g}s"
+        ),
+        faults=[
+            ClockStepFault(start=at, step=step, node=node, name="ntp_step"),
+        ],
+    )
+
+
+def thermal_cycle(
+    start: float = 15.0,
+    length: float = 30.0,
+    skew_delta: float = 8e-6,
+    node: int = 1,
+) -> FaultSchedule:
+    """A triangular frequency excursion (thermal ramp) on one node."""
+    return FaultSchedule(
+        name="thermal_cycle",
+        description=(
+            f"thermal cycle: node {node} skew ramps by {skew_delta:g} "
+            f"over [{start:g}, {start + length:g})s"
+        ),
+        faults=[
+            ClockFrequencyFault(
+                start=start,
+                length=length,
+                skew_delta=skew_delta,
+                node=node,
+                shape="triangle",
+                name="thermal_cycle",
+            ),
+        ],
+    )
+
+
+def congestion_burst(
+    start: float = 20.0,
+    length: float = 10.0,
+    latency_factor: float = 3.0,
+    jitter: float = 20e-6,
+    gap_factor: float = 6.0,
+) -> FaultSchedule:
+    """Inter-node congestion: degraded links plus NIC backlog storms."""
+    return FaultSchedule(
+        name="congestion_burst",
+        description=(
+            f"congestion burst on REMOTE links over "
+            f"[{start:g}, {start + length:g})s"
+        ),
+        faults=[
+            LinkFault(
+                start=start,
+                length=length,
+                level="REMOTE",
+                latency_factor=latency_factor,
+                jitter=jitter,
+                outlier_prob=0.05,
+                outlier_scale=10 * jitter,
+                name="congestion_burst",
+            ),
+            NicStormFault(
+                start=start,
+                length=length,
+                node=None,
+                gap_factor=gap_factor,
+                name="nic_storm",
+            ),
+        ],
+    )
+
+
+def straggler_node(
+    start: float = 20.0,
+    length: float = 15.0,
+    node: int = 1,
+    slowdown: float = 4.0,
+    noise: float = 50e-6,
+) -> FaultSchedule:
+    """One node's ranks compute ``slowdown``× slower with OS noise."""
+    return FaultSchedule(
+        name="straggler_node",
+        description=(
+            f"straggler: node {node} computes {slowdown:g}x slower over "
+            f"[{start:g}, {start + length:g})s"
+        ),
+        faults=[
+            StragglerFault(
+                start=start,
+                length=length,
+                node=node,
+                slowdown=slowdown,
+                noise=noise,
+                name="straggler_node",
+            ),
+        ],
+    )
+
+
+SCENARIOS: dict[str, Callable[..., FaultSchedule]] = {
+    "ntp_step": ntp_step,
+    "thermal_cycle": thermal_cycle,
+    "congestion_burst": congestion_burst,
+    "straggler_node": straggler_node,
+}
+
+
+def make_scenario(name: str, **overrides) -> FaultSchedule:
+    """Build a preset scenario, optionally overriding factory parameters."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(**overrides)

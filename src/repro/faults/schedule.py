@@ -1,0 +1,135 @@
+"""Scenario container: an ordered, serializable set of scheduled faults.
+
+A :class:`FaultSchedule` is the unit a :class:`~repro.simmpi.simulation.Simulation`
+consumes: a named, deterministic list of faults sorted by start time.
+Schedules round-trip through plain dicts and JSON (``to_dict``/
+``from_dict``, ``save``/``load``), so scenarios can live in files next
+to experiment configs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.faults.model import (
+    ClockFrequencyFault,
+    ClockStepFault,
+    Fault,
+    LinkFault,
+    NicStormFault,
+    StragglerFault,
+    fault_from_dict,
+)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named scenario: faults sorted by (start, kind, target)."""
+
+    name: str
+    faults: tuple[Fault, ...] = ()
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        faults: Sequence[Fault] = (),
+        description: str = "",
+    ) -> None:
+        if not name:
+            raise ConfigurationError("a fault schedule needs a name")
+        ordered = tuple(
+            sorted(faults, key=lambda f: (f.start, f.kind, f.target()))
+        )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "faults", ordered)
+        object.__setattr__(self, "description", description)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def window(self) -> tuple[float, float] | None:
+        """``(first start, last end)`` over all faults; None when empty."""
+        if not self.faults:
+            return None
+        return (
+            min(f.start for f in self.faults),
+            max(f.end for f in self.faults),
+        )
+
+    def clock_faults(
+        self, node: int
+    ) -> list[ClockStepFault | ClockFrequencyFault]:
+        """Clock faults that apply to ``node`` (targeted or cluster-wide)."""
+        return [
+            f
+            for f in self.faults
+            if isinstance(f, (ClockStepFault, ClockFrequencyFault))
+            and (f.node is None or f.node == node)
+        ]
+
+    def link_faults(self) -> list[LinkFault]:
+        return [f for f in self.faults if isinstance(f, LinkFault)]
+
+    def nic_faults(self) -> list[NicStormFault]:
+        return [f for f in self.faults if isinstance(f, NicStormFault)]
+
+    def straggler_faults(self) -> list[StragglerFault]:
+        return [f for f in self.faults if isinstance(f, StragglerFault)]
+
+    @property
+    def has_engine_faults(self) -> bool:
+        """Whether any fault needs engine hooks (vs. clock-only wrapping)."""
+        return any(
+            isinstance(f, (LinkFault, NicStormFault, StragglerFault))
+            for f in self.faults
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        try:
+            faults = [fault_from_dict(d) for d in data.get("faults", [])]
+            return cls(
+                name=data["name"],
+                faults=faults,
+                description=data.get("description", ""),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"fault schedule dict is missing {exc}"
+            ) from None
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "FaultSchedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -26,12 +26,18 @@ from repro.obs.events import (
     CollectiveEnter,
     CollectiveExit,
     Event,
+    FaultInject,
     MsgDeliver,
     MsgSend,
     NicQueue,
     ProcBlock,
     ProcWake,
+    ResyncRound,
 )
+
+#: Synthetic Chrome-trace thread id for the fault-injection track (fault
+#: windows are cluster-scoped, not per-rank).
+FAULT_TID = -1
 from repro.simtime.base import Clock
 from repro.trace.tracer import TraceEvent
 
@@ -105,8 +111,41 @@ def engine_events_to_chrome(
     records: list[dict] = []
     open_blocks: dict[int, ProcBlock] = {}
     for event in events:
+        if isinstance(event, FaultInject):
+            # Fault windows live on their own track in *true* time (they
+            # are scheduled against the simulation, not any rank clock).
+            ts_f = event.time / time_unit
+            record = {
+                "name": f"fault:{event.name}",
+                "cat": "fault",
+                "ts": ts_f,
+                "pid": pid,
+                "tid": FAULT_TID,
+                "args": {"kind": event.kind, "target": event.target},
+            }
+            if event.duration > 0.0:
+                record["ph"] = "X"
+                record["dur"] = event.duration / time_unit
+            else:
+                record["ph"] = "i"
+                record["s"] = "g"
+            records.append(record)
+            continue
         ts = _remap(event.time, event.rank, clock_of) / time_unit
-        if isinstance(event, CollectiveEnter):
+        if isinstance(event, ResyncRound):
+            records.append(
+                {
+                    "name": "resync_round",
+                    "cat": "sync",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": event.rank,
+                    "args": {"round": event.round_index, "age": event.age},
+                }
+            )
+        elif isinstance(event, CollectiveEnter):
             records.append(
                 {
                     "name": event.name,

@@ -85,6 +85,39 @@ class NicQueue:
 
 
 @dataclass(frozen=True, slots=True)
+class FaultInject:
+    """A scheduled fault perturbs the simulation from ``time`` on.
+
+    Emitted once per fault when the engine starts (the schedule is known
+    a priori, so the spans carry exact virtual times).  ``rank`` is the
+    affected rank, or -1 for node-/cluster-scoped faults; ``target`` is
+    the descriptor string (``node:3``, ``level:REMOTE``, ``cluster``).
+    """
+
+    time: float
+    rank: int
+    kind: str
+    name: str
+    target: str
+    duration: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ResyncRound:
+    """A :class:`~repro.sync.resync.PeriodicResyncClock` re-synchronized.
+
+    ``round_index`` counts sync rounds on this rank (1 = initial sync);
+    ``age`` is the global-clock age that triggered the round, or -1 when
+    unknown (non-root ranks, initial sync).
+    """
+
+    time: float
+    rank: int
+    round_index: int
+    age: float = -1.0
+
+
+@dataclass(frozen=True, slots=True)
 class CollectiveEnter:
     """A rank entered a collective operation (e.g. ``MPI_Allreduce``)."""
 
@@ -114,6 +147,8 @@ Event = (
     | ProcBlock
     | ProcWake
     | NicQueue
+    | FaultInject
+    | ResyncRound
     | CollectiveEnter
     | CollectiveExit
 )

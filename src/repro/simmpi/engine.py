@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, RecvDescriptor
 from repro.simmpi.network import Level, NetworkModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 
 # ----------------------------------------------------------------------
@@ -134,6 +137,7 @@ class Engine:
         extra_node_latency: Callable[[int, int], float] | None = None,
         sink: EventSink | None = None,
         metrics: MetricsRegistry | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.network = network
         self.level_of = level_of
@@ -161,6 +165,10 @@ class Engine:
         #: pointer comparison (the zero-overhead fast path).
         self.sink = sink
         self.metrics = metrics
+        #: Optional fault injector (see :mod:`repro.faults`): perturbs
+        #: delay draws, NIC gaps, and compute intervals at scheduled true
+        #: times.  ``None`` keeps every hot path on its fault-free branch.
+        self.injector = injector
         #: Monotonically increasing count of delivered messages (stats).
         self.messages_delivered = 0
         #: Payload bytes of all delivered messages.
@@ -218,6 +226,15 @@ class Engine:
         if self._started:
             raise SimulationError("engine can only run once")
         self._started = True
+        if self.injector is not None:
+            # The schedule is known a priori: emit one record per fault
+            # so traces show fault windows at their exact virtual times.
+            events = self.injector.schedule_events()
+            if self.sink is not None:
+                for event in events:
+                    self.sink.emit(event)
+            if self.metrics is not None and events:
+                self.metrics.counter("faults.scheduled").inc(len(events))
         for proc in self._procs:
             if proc.gen is None:
                 raise SimulationError(f"rank {proc.rank} has no body bound")
@@ -303,7 +320,13 @@ class Engine:
             elif type(cmd) is ElapseCmd:
                 if cmd.duration < 0:
                     raise SimulationError("cannot elapse a negative duration")
-                proc.now += cmd.duration
+                duration = cmd.duration
+                if self.injector is not None and duration > 0.0:
+                    # Straggler faults: compute runs slower in the window.
+                    duration = self.injector.perturb_compute(
+                        proc.now, proc.rank, duration, proc.rng
+                    )
+                proc.now += duration
             elif type(cmd) is WaitUntilCmd:
                 if cmd.true_time > proc.now:
                     proc.now = cmd.true_time
@@ -344,6 +367,11 @@ class Engine:
                                      proc.rank).inc()
         proc.now += self.network.o_send
         delay = self.network.delay(level, cmd.size, proc.rng)
+        if self.injector is not None:
+            # Link faults: windowed degradation of the delay draw.
+            delay = self.injector.perturb_delay(
+                send_time, level, delay, proc.rng
+            )
         if (
             self.extra_node_latency is not None
             and level == Level.REMOTE
@@ -356,19 +384,30 @@ class Engine:
         if gap > 0.0 and level == Level.REMOTE:
             # Egress: messages leaving a node serialize at its NIC.
             src_node = self.node_of(proc.rank)
+            egress_gap = gap
+            if self.injector is not None:
+                # NIC storm faults: the serialization gap grows.
+                egress_gap = gap * self.injector.nic_gap_factor(
+                    proc.now, src_node
+                )
             inject = max(proc.now, self._nic_egress.get(src_node, 0.0))
-            self._nic_egress[src_node] = inject + gap
+            self._nic_egress[src_node] = inject + egress_gap
             # Congestion: delay variance grows with the backlog this
             # message found at the NIC (queueing, adaptive routing...).
-            backlog = (inject - proc.now) / gap
+            backlog = (inject - proc.now) / egress_gap
             cj = self.network.congestion_jitter
             if cj > 0.0 and backlog > 0.0:
                 delay += proc.rng.exponential(cj * backlog)
-            arrival = inject + gap + delay
+            arrival = inject + egress_gap + delay
             # Ingress: arrivals at the destination node serialize too.
             dst_node = self.node_of(cmd.dest)
+            ingress_gap = gap
+            if self.injector is not None:
+                ingress_gap = gap * self.injector.nic_gap_factor(
+                    proc.now, dst_node
+                )
             arrival = max(arrival, self._nic_ingress.get(dst_node, 0.0))
-            self._nic_ingress[dst_node] = arrival + gap
+            self._nic_ingress[dst_node] = arrival + ingress_gap
             if self.sink is not None and backlog > 0.0:
                 self.sink.emit(obs_events.NicQueue(
                     time=send_time, rank=proc.rank, node=src_node,
@@ -444,6 +483,10 @@ class Engine:
             # The ack travels back; the sender resumes after its arrival.
             level = self.level_of(msg.dest, msg.source)
             ack_delay = self.network.delay(level, 8, proc.rng)
+            if self.injector is not None:
+                ack_delay = self.injector.perturb_delay(
+                    proc.now, level, ack_delay, proc.rng
+                )
             resume_at = max(proc.now, msg.arrival) + ack_delay
             sender.now = max(sender.now, resume_at)
             sender.blocked = None

@@ -33,6 +33,8 @@ import numpy as np
 
 from repro.cluster.topology import Machine
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector, apply_clock_faults
+from repro.faults.schedule import FaultSchedule
 from repro.obs.events import EventSink, get_default_sink
 from repro.obs.metrics import MetricsRegistry, get_default_metrics
 from repro.simmpi.comm import Communicator
@@ -61,6 +63,8 @@ class SimulationResult:
     sink: EventSink | None = None
     #: The metrics registry the job ran with, if any.
     metrics: MetricsRegistry | None = None
+    #: The fault schedule the job ran under, if any.
+    faults: FaultSchedule | None = None
 
     def true_offset(self, rank: int, ref_rank: int, true_time: float) -> float:
         """Ground-truth clock offset ``rank - ref_rank`` at a true time."""
@@ -85,6 +89,7 @@ class Simulation:
         fabric=None,
         sink: EventSink | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         """Set up the job.
 
@@ -102,6 +107,11 @@ class Simulation:
         when omitted, the process-wide defaults installed via
         ``repro.obs.set_default_sink``/``set_default_metrics`` apply.
         Observation is passive — results are bit-identical either way.
+
+        ``faults`` injects a scheduled disturbance scenario (see
+        :mod:`repro.faults`): clock faults wrap the affected node clocks
+        at construction; network/compute faults are applied by the
+        engine at their exact virtual times.  Deterministic per seed.
         """
         if clocks_per not in ("node", "socket", "core"):
             raise SimulationError(
@@ -122,6 +132,12 @@ class Simulation:
         self.metrics = (
             metrics if metrics is not None else get_default_metrics()
         )
+        self.faults = faults
+        injector = (
+            FaultInjector(faults, node_of=machine.node_of)
+            if faults is not None and len(faults)
+            else None
+        )
         self.engine = Engine(
             network=network,
             level_of=machine.level_between,
@@ -133,6 +149,7 @@ class Simulation:
             ),
             sink=self.sink,
             metrics=self.metrics,
+            injector=injector,
         )
         clock_rng = np.random.default_rng(clock_seed)
         # One clock per time-source domain; ranks in a domain share it.
@@ -145,7 +162,12 @@ class Simulation:
             pl = machine.placement(rank)
             key = self._domain_key(pl)
             if key not in self._domain_clocks:
-                self._domain_clocks[key] = make_clock(time_source, clock_rng)
+                clock = make_clock(time_source, clock_rng)
+                if faults is not None and len(faults):
+                    # Clock faults wrap the fresh (unread) domain clock;
+                    # ranks of a domain still share one clock object.
+                    clock = apply_clock_faults(clock, faults, pl.node)
+                self._domain_clocks[key] = clock
             clock = self._domain_clocks[key]
             self.clocks.append(clock)
             self.contexts.append(
@@ -199,4 +221,5 @@ class Simulation:
             engine_stats=self.engine.stats(),
             sink=self.sink,
             metrics=self.metrics,
+            faults=self.faults,
         )

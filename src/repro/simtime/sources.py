@@ -60,6 +60,28 @@ class TimeSourceSpec:
     sinus_amplitude: float = 2e-6
     sinus_period: float = 120.0
 
+    def __post_init__(self) -> None:
+        # A negative scale would silently produce nonsense clocks via
+        # make_clock (numpy accepts it and flips the distribution's sign).
+        if self.offset_scale < 0.0:
+            raise ValueError("offset_scale must be >= 0")
+        if self.skew_scale < 0.0:
+            raise ValueError("skew_scale must be >= 0")
+        if self.skew_walk_sigma < 0.0:
+            raise ValueError("skew_walk_sigma must be >= 0")
+        if self.segment_length <= 0.0:
+            raise ValueError("segment_length must be > 0")
+        # granularity == 0 is the "infinitely fine timer" used by
+        # exact-value tests; anything negative is invalid.
+        if self.granularity < 0.0:
+            raise ValueError("granularity must be >= 0")
+        if self.read_overhead < 0.0:
+            raise ValueError("read_overhead must be >= 0")
+        if self.sinus_amplitude < 0.0 or self.sinus_period <= 0.0:
+            raise ValueError(
+                "sinus_amplitude must be >= 0 and sinus_period > 0"
+            )
+
     def with_(self, **kwargs) -> "TimeSourceSpec":
         """Return a copy with some fields replaced."""
         return replace(self, **kwargs)

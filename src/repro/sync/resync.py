@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from repro.errors import SyncError
+from repro.obs.events import ResyncRound
 from repro.simtime.base import Clock
 from repro.sync.base import ClockSyncAlgorithm
 
@@ -66,6 +67,7 @@ class PeriodicResyncClock:
         0 against its own (identity) global clock and broadcast, so every
         rank takes the same branch.
         """
+        age = -1.0  # unknown on non-root ranks and for the initial sync
         if self._clock is None:
             stale = True
         elif comm.rank == 0:
@@ -83,6 +85,15 @@ class PeriodicResyncClock:
             )
             self._synced_at = ctx.read_clock(self._clock)
             self.resync_count += 1
+            # Recovery is observable: one event + counter tick per round.
+            engine = ctx.engine
+            if engine.sink is not None:
+                engine.sink.emit(ResyncRound(
+                    time=ctx.now, rank=ctx.rank,
+                    round_index=self.resync_count, age=age,
+                ))
+            if engine.metrics is not None:
+                engine.metrics.counter("resync.rounds", ctx.rank).inc()
         return self._clock
 
     def label(self) -> str:

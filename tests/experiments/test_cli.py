@@ -8,7 +8,7 @@ from repro.experiments.__main__ import TARGETS, build_parser, main
 class TestParser:
     def test_all_targets_registered(self):
         expected = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
-                    "fig7", "fig8", "fig9", "fig10"}
+                    "fig7", "fig8", "fig9", "fig10", "fault_recovery"}
         assert set(TARGETS) == expected
 
     def test_defaults(self):

@@ -1,0 +1,156 @@
+"""Tests for fault types, schedules, and preset scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.model import (
+    ClockFrequencyFault,
+    ClockStepFault,
+    LinkFault,
+    NicStormFault,
+    StragglerFault,
+    fault_from_dict,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.faults.scenarios import SCENARIOS, make_scenario
+
+ALL_FAULTS = [
+    ClockStepFault(start=20.0, step=500e-6, node=1),
+    ClockFrequencyFault(start=15.0, length=30.0, skew_delta=8e-6, node=0),
+    LinkFault(start=20.0, length=10.0, level="REMOTE", latency_factor=3.0),
+    NicStormFault(start=20.0, length=10.0, node=2, gap_factor=6.0),
+    StragglerFault(start=20.0, length=15.0, node=1, slowdown=4.0),
+]
+
+
+class TestFaultTypes:
+    def test_window_semantics(self):
+        f = LinkFault(start=10.0, length=5.0, latency_factor=2.0)
+        assert f.end == 15.0
+        assert not f.active(9.999)
+        assert f.active(10.0)
+        assert f.active(14.999)
+        assert not f.active(15.0)
+
+    def test_instantaneous_fault_has_zero_duration(self):
+        f = ClockStepFault(start=10.0, step=1e-3)
+        assert f.duration == 0.0
+        assert f.end == 10.0
+
+    def test_targets(self):
+        assert ClockStepFault(start=0.0, step=1e-3).target() == "cluster"
+        assert ClockStepFault(start=0.0, step=1e-3, node=3).target() == \
+            "node:3"
+        assert NicStormFault(start=0.0, length=1.0).target() == "all-nics"
+        assert LinkFault(start=0.0, length=1.0, level="REMOTE",
+                         latency_factor=2.0).target() == "level:REMOTE"
+        assert StragglerFault(start=0.0, length=1.0, rank=5, node=1,
+                              slowdown=2.0).target() == "rank:5"
+
+    def test_straggler_matching(self):
+        by_rank = StragglerFault(start=0.0, length=1.0, rank=2, node=0,
+                                 slowdown=2.0)
+        assert by_rank.matches(rank=2, node=9)
+        assert not by_rank.matches(rank=3, node=0)  # rank wins over node
+        by_node = StragglerFault(start=0.0, length=1.0, node=1, slowdown=2.0)
+        assert by_node.matches(rank=7, node=1)
+        assert not by_node.matches(rank=7, node=0)
+        everyone = StragglerFault(start=0.0, length=1.0, slowdown=2.0)
+        assert everyone.matches(rank=0, node=0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockStepFault(start=-1.0, step=1e-3)
+        with pytest.raises(ConfigurationError):
+            ClockStepFault(start=1.0, step=0.0)
+        with pytest.raises(ConfigurationError):
+            ClockFrequencyFault(start=1.0, length=0.0, skew_delta=1e-6)
+        with pytest.raises(ConfigurationError):
+            ClockFrequencyFault(start=1.0, length=5.0, skew_delta=1e-6,
+                                shape="sawtooth")
+        with pytest.raises(ConfigurationError):
+            LinkFault(start=1.0, length=5.0)  # perturbs nothing
+        with pytest.raises(ConfigurationError):
+            LinkFault(start=1.0, length=5.0, latency_factor=2.0,
+                      outlier_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            NicStormFault(start=1.0, length=5.0, gap_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            StragglerFault(start=1.0, length=5.0)  # slows nothing
+
+    @pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.kind)
+    def test_dict_round_trip(self, fault):
+        assert fault_from_dict(fault.to_dict()) == fault
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            fault_from_dict({"kind": "meteor_strike", "start": 1.0})
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            fault_from_dict({"kind": "clock_step", "start": 1.0,
+                             "step": 1e-3, "warp": 9})
+
+
+class TestFaultSchedule:
+    def test_sorted_by_start(self):
+        sched = FaultSchedule(name="s", faults=list(reversed(ALL_FAULTS)))
+        starts = [f.start for f in sched]
+        assert starts == sorted(starts)
+
+    def test_window_spans_all_faults(self):
+        sched = FaultSchedule(name="s", faults=ALL_FAULTS)
+        assert sched.window() == (15.0, 45.0)
+        assert FaultSchedule(name="empty").window() is None
+
+    def test_selectors(self):
+        sched = FaultSchedule(name="s", faults=ALL_FAULTS)
+        assert len(sched.clock_faults(node=1)) == 1  # step targets node 1
+        assert len(sched.clock_faults(node=0)) == 1  # freq targets node 0
+        cluster_step = FaultSchedule(
+            name="c", faults=[ClockStepFault(start=1.0, step=1e-3)]
+        )
+        assert len(cluster_step.clock_faults(node=7)) == 1
+        assert len(sched.link_faults()) == 1
+        assert len(sched.nic_faults()) == 1
+        assert len(sched.straggler_faults()) == 1
+        assert sched.has_engine_faults
+        assert not cluster_step.has_engine_faults
+
+    def test_json_round_trip(self):
+        sched = FaultSchedule(name="s", description="d", faults=ALL_FAULTS)
+        assert FaultSchedule.from_json(sched.to_json()) == sched
+
+    def test_save_load(self, tmp_path):
+        sched = FaultSchedule(name="s", faults=ALL_FAULTS)
+        path = tmp_path / "scenario.json"
+        sched.save(path)
+        assert FaultSchedule.load(path) == sched
+
+    def test_needs_name(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(name="")
+
+    def test_from_dict_missing_name(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_dict({"faults": []})
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_presets_build_and_round_trip(self, name):
+        sched = make_scenario(name)
+        assert sched.name == name
+        assert len(sched) >= 1
+        assert FaultSchedule.from_json(sched.to_json()) == sched
+
+    def test_overrides(self):
+        sched = make_scenario("ntp_step", at=5.0, step=-1e-3, node=0)
+        (fault,) = sched
+        assert fault.start == 5.0
+        assert fault.step == -1e-3
+        assert fault.node == 0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            make_scenario("solar_flare")

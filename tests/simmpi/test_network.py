@@ -38,6 +38,29 @@ class TestLevelFallback:
         # SOCKET/SELF fall back to the finest defined (NODE).
         assert model.params_for(Level.SOCKET).latency == 1e-6
 
+    def test_coarser_levels_fall_back_to_finest_defined(self):
+        # Only SELF defined: coarser levels (SOCKET/NODE/REMOTE) have no
+        # coarser source to inherit from and resolve to the finest
+        # defined level instead.
+        model = NetworkModel(
+            levels={Level.SELF: LinkParams(latency=3e-7, bandwidth=5e9)}
+        )
+        for level in Level:
+            assert model.params_for(level).latency == 3e-7
+
+    def test_middle_gap_resolved_from_coarser(self):
+        # SELF and REMOTE defined; the SOCKET/NODE gap inherits from the
+        # next coarser defined level (REMOTE), not from SELF.
+        model = NetworkModel(
+            levels={
+                Level.SELF: LinkParams(latency=3e-7, bandwidth=5e9),
+                Level.REMOTE: LinkParams(latency=5e-6, bandwidth=1e9),
+            }
+        )
+        assert model.params_for(Level.SOCKET).latency == 5e-6
+        assert model.params_for(Level.NODE).latency == 5e-6
+        assert model.params_for(Level.SELF).latency == 3e-7
+
     def test_empty_levels_rejected(self):
         with pytest.raises(ValueError):
             NetworkModel(levels={})
@@ -84,6 +107,20 @@ class TestDelay:
         )
         frac_large = float(np.mean(delays > 20e-6))
         assert 0.05 < frac_large < 0.15
+
+    def test_delay_never_below_wire_time(self):
+        # latency + size/bandwidth is a hard floor: jitter and outliers
+        # only ever add on top of the deterministic LogGP wire time.
+        model = self._model(
+            jitter_scale=1e-6, outlier_prob=0.2, outlier_scale=50e-6
+        )
+        rng = np.random.default_rng(42)
+        for size in (0, 8, 4096, 1 << 20):
+            floor = 2e-6 + size / 1e9
+            draws = [
+                model.delay(Level.REMOTE, size, rng) for _ in range(2000)
+            ]
+            assert min(draws) >= floor
 
     def test_negative_size_rejected(self):
         model = self._model()

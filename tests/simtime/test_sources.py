@@ -34,6 +34,29 @@ class TestPresets:
         assert spec.name == CLOCK_GETTIME.name
 
 
+class TestSpecValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("offset_scale", -1.0),
+        ("skew_scale", -1e-6),
+        ("skew_walk_sigma", -1e-9),
+        ("segment_length", 0.0),
+        ("segment_length", -1.0),
+        ("granularity", -1e-9),
+        ("read_overhead", -1e-9),
+        ("sinus_amplitude", -1e-6),
+        ("sinus_period", 0.0),
+    ])
+    def test_rejects_invalid_field(self, field, value):
+        with pytest.raises(ValueError):
+            CLOCK_GETTIME.with_(**{field: value})
+
+    def test_zero_granularity_means_infinitely_fine(self):
+        # conftest's PERFECT_TIME relies on granularity 0 skipping
+        # quantization entirely; it must stay constructible.
+        spec = CLOCK_GETTIME.with_(granularity=0.0, read_overhead=0.0)
+        assert spec.granularity == 0.0
+
+
 class TestMakeClock:
     def test_monotonic_offsets_positive(self):
         rng = np.random.default_rng(0)

@@ -82,6 +82,28 @@ class TestPeriodicResync:
         err_resynced = ground_truth_accuracy(last, t_eval)
         assert err_resynced < err_original
 
+    def test_resync_rounds_are_observable(self):
+        from repro.obs.events import RecordingSink, ResyncRound, default_sink
+        from repro.obs.metrics import MetricsRegistry, default_metrics
+
+        state = {}
+        sink = RecordingSink()
+        registry = MetricsRegistry()
+        with default_sink(sink), default_metrics(registry):
+            _, res = run_spmd(resync_main(5.0, [6.0, 6.0, 0.0], state),
+                              network=infiniband_qdr(),
+                              time_source=TWITCHY, seed=3)
+        counts = [count for _, count in res.values]
+        events = sink.of_type(ResyncRound)
+        # One event per rank per round, numbered 1..resync_count.
+        assert len(events) == sum(counts)
+        for rank, count in enumerate(counts):
+            rounds = [e.round_index for e in events if e.rank == rank]
+            assert rounds == list(range(1, count + 1))
+        # Re-sync rounds (not the initial sync) report the model age.
+        assert any(e.age >= 5.0 for e in events if e.rank == 0)
+        assert registry.merged_counter("resync.rounds") == sum(counts)
+
     def test_clock_property_before_sync_raises(self):
         resync = PeriodicResyncClock(h2hca(nfitpoints=5))
         with pytest.raises(SyncError):

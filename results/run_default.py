@@ -1,4 +1,8 @@
-"""Run every experiment at the default reproduction scale; save outputs."""
+"""Run every experiment at the default reproduction scale; save outputs.
+
+Campaign experiments (fig3-fig6) fan their mpiruns out over worker
+processes (``jobs=0`` = one per CPU); results are identical to serial.
+"""
 import time, traceback
 from repro.experiments import (
     table1_machines, fig2_drift, fig3_flat_algorithms, fig4_hier_jupiter,
@@ -11,13 +15,13 @@ JOBS = [
     ("fig2", lambda: fig2_drift.format_result(
         fig2_drift.run(num_nodes=10, duration=200.0, interval=1.0))),
     ("fig3", lambda: fig3_flat_algorithms.format_result(
-        fig3_flat_algorithms.run("default"))),
+        fig3_flat_algorithms.run("default", jobs=0))),
     ("fig4", lambda: fig4_hier_jupiter.format_result(
-        fig4_hier_jupiter.run("default"))),
+        fig4_hier_jupiter.run("default", jobs=0))),
     ("fig5", lambda: fig5_hier_hydra.format_result(
-        fig5_hier_hydra.run("default"))),
+        fig5_hier_hydra.run("default", jobs=0))),
     ("fig6", lambda: fig6_hier_titan.format_result(
-        fig6_hier_titan.run("default"))),
+        fig6_hier_titan.run("default", jobs=0))),
     ("fig7", lambda: fig7_barrier_impact.format_result(
         fig7_barrier_impact.run("default"))),
     ("fig8", lambda: fig8_imbalance.format_result(

@@ -1,7 +1,8 @@
 import time, traceback
 from repro.experiments import fig6_hier_titan, fig9_roundtime
 for name, job in [
-    ("fig6", lambda: fig6_hier_titan.format_result(fig6_hier_titan.run("default"))),
+    ("fig6", lambda: fig6_hier_titan.format_result(
+        fig6_hier_titan.run("default", jobs=0))),
     ("fig9", lambda: fig9_roundtime.format_result(fig9_roundtime.run("default"))),
 ]:
     t = time.time()

@@ -24,9 +24,29 @@ from repro.simmpi.network import NetworkModel
 from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
 
 
+def flat_fabric(num_nodes: int) -> FlatFabric:
+    """Single-switch fabric, independent of node count.
+
+    Module-level (rather than a lambda) so :class:`MachineSpec` presets
+    are picklable — the parallel campaign executor ships specs to worker
+    processes.
+    """
+    return FlatFabric()
+
+
+def torus_fabric(num_nodes: int) -> TorusFabric:
+    """3D-torus fabric sized for ``num_nodes`` (Titan's Gemini)."""
+    return TorusFabric.cube_for(num_nodes)
+
+
 @dataclass(frozen=True)
 class MachineSpec:
-    """A machine preset: topology factory + network + default time source."""
+    """A machine preset: topology factory + network + default time source.
+
+    Presets are picklable (factories are module-level functions), which
+    lets :mod:`repro.parallel` submit campaign jobs referencing a spec to
+    worker processes directly.
+    """
 
     name: str
     default_nodes: int
@@ -36,9 +56,7 @@ class MachineSpec:
     time_source: TimeSourceSpec = field(default=CLOCK_GETTIME)
     #: Builds the interconnect fabric for a given node count (torus for
     #: Titan's Gemini; flat single-switch fabrics elsewhere).
-    fabric_factory: Callable[[int], object] = field(
-        default=lambda num_nodes: FlatFabric()
-    )
+    fabric_factory: Callable[[int], object] = field(default=flat_fabric)
 
     def machine(
         self,
@@ -82,7 +100,7 @@ TITAN = MachineSpec(
     sockets_per_node=1,
     cores_per_socket=16,
     network_factory=cray_gemini,
-    fabric_factory=lambda num_nodes: TorusFabric.cube_for(num_nodes),
+    fabric_factory=torus_fabric,
 )
 
 MACHINES: dict[str, MachineSpec] = {

@@ -39,11 +39,11 @@ from repro.experiments import (
 from repro.faults.scenarios import SCENARIOS
 
 
-def _run_table1(scale: str, seed: int) -> str:
+def _run_table1(scale: str, seed: int, jobs: int | None) -> str:
     return table1_machines.format_result(table1_machines.run(seed=seed))
 
 
-def _run_fig2(scale: str, seed: int) -> str:
+def _run_fig2(scale: str, seed: int, jobs: int | None) -> str:
     duration = 60.0 if scale == "quick" else 200.0
     nodes = 4 if scale == "quick" else 10
     return fig2_drift.format_result(
@@ -52,9 +52,19 @@ def _run_fig2(scale: str, seed: int) -> str:
     )
 
 
-def _simple(module):
-    def runner(scale: str, seed: int) -> str:
-        return module.format_result(module.run(scale=scale, seed=seed))
+def _run_fault_recovery(scale: str, seed: int, jobs: int | None) -> str:
+    # fault_recovery also honours --scenario; main() threads it through.
+    return fault_recovery.format_result(
+        fault_recovery.run(scale=scale, seed=seed, jobs=jobs)
+    )
+
+
+def _simple(module, parallel: bool = False):
+    def runner(scale: str, seed: int, jobs: int | None) -> str:
+        kwargs = {"jobs": jobs} if parallel else {}
+        return module.format_result(
+            module.run(scale=scale, seed=seed, **kwargs)
+        )
 
     return runner
 
@@ -62,14 +72,13 @@ def _simple(module):
 TARGETS = {
     "table1": _run_table1,
     "fig2": _run_fig2,
-    # fault_recovery honours --scenario; main() threads it through.
-    "fault_recovery": lambda scale, seed: fault_recovery.format_result(
-        fault_recovery.run(scale=scale, seed=seed)
-    ),
-    "fig3": _simple(fig3_flat_algorithms),
-    "fig4": _simple(fig4_hier_jupiter),
-    "fig5": _simple(fig5_hier_hydra),
-    "fig6": _simple(fig6_hier_titan),
+    "fault_recovery": _run_fault_recovery,
+    # Campaign-based targets fan individual mpiruns out over --jobs
+    # worker processes; results are bit-identical to --jobs 1.
+    "fig3": _simple(fig3_flat_algorithms, parallel=True),
+    "fig4": _simple(fig4_hier_jupiter, parallel=True),
+    "fig5": _simple(fig5_hier_hydra, parallel=True),
+    "fig6": _simple(fig6_hier_titan, parallel=True),
     "fig7": _simple(fig7_barrier_impact),
     "fig8": _simple(fig8_imbalance),
     "fig9": _simple(fig9_roundtime),
@@ -91,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["quick", "default"],
                         help="experiment size (see EXPERIMENTS.md)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent simulations of campaign-based targets "
+             "(fig3-fig6, fault_recovery) on N worker processes; 0 means "
+             "one per CPU.  Results are identical to --jobs 1.",
+    )
     parser.add_argument(
         "--obs-summary",
         action="store_true",
@@ -152,10 +167,10 @@ def main(argv: list[str] | None = None) -> int:
             if name == "fault_recovery":
                 output = fault_recovery.format_result(fault_recovery.run(
                     scale=args.scale, seed=args.seed,
-                    scenario=args.scenario,
+                    scenario=args.scenario, jobs=args.jobs,
                 ))
             else:
-                output = TARGETS[name](args.scale, args.seed)
+                output = TARGETS[name](args.scale, args.seed, args.jobs)
             print(output)
             print(f"[{name}: {time.time() - t0:.1f}s]\n")
         if args.chrome_trace_dir and (

@@ -11,7 +11,6 @@ creation for hierarchical schemes), y = the measured maximum clock offset.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -19,9 +18,9 @@ import numpy as np
 
 from repro.analysis.accuracy import check_clock_accuracy, max_abs_offset
 from repro.cluster.machines import MachineSpec
+from repro.parallel import JobSpec, job_seeds, run_jobs, seed_int
 from repro.simmpi.simulation import Simulation
 from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
-from repro.sync.base import ClockSyncAlgorithm
 from repro.sync.offset import SKaMPIOffset
 from repro.sync.registry import algorithm_from_label
 
@@ -134,8 +133,22 @@ def run_sync_accuracy_campaign(
     sample_fraction: float = 1.0,
     seed: int = 0,
     time_source: TimeSourceSpec | None = None,
+    jobs: int | None = 1,
 ) -> SyncCampaignResult:
-    """Figs. 3–6 engine: accuracy-vs-duration for several algorithm labels."""
+    """Figs. 3–6 engine: accuracy-vs-duration for several algorithm labels.
+
+    **Seed derivation.**  One root ``SeedSequence(seed)`` spawns one child
+    per ``(label, run_idx)`` pair in submission order (label-major), so
+    every simulated mpirun draws from a provably independent stream.  The
+    previous scheme folded ``crc32(label) % 997`` into an integer, which
+    could collide across labels/seeds; the spawn-based derivation cannot,
+    and it depends only on the job's position — not on which process runs
+    it — which is what makes ``jobs=N`` bit-identical to ``jobs=1``.
+
+    ``jobs`` fans the independent mpiruns out over worker processes
+    (``None``/``0`` = all cores); results are collected in submission
+    order either way.
+    """
     sc = resolve_scale(scale)
     ts = time_source or MACHINE_TIME_SOURCES.get(spec.name, CLOCK_GETTIME)
     machine = spec.machine(sc.num_nodes, sc.ranks_per_node)
@@ -144,42 +157,59 @@ def run_sync_accuracy_campaign(
         nprocs=machine.num_ranks,
         wait_times=tuple(wait_times),
     )
-    check_offset_alg = SKaMPIOffset(nexchanges=sc.nexchanges)
 
-    for label in labels:
+    labels = list(labels)
+    seeds = job_seeds(seed, len(labels) * sc.nmpiruns)
+    specs: list[JobSpec] = []
+    for label_idx, label in enumerate(labels):
         spacing = sc.fitpoint_spacing
         if label.strip().lower().startswith("jk"):
             spacing *= sc.jk_spacing_factor
         for run_idx in range(sc.nmpiruns):
-            # Fresh instance per run: algorithms may carry per-engine caches.
-            algorithm = algorithm_from_label(label, fitpoint_spacing=spacing)
-            run = _one_sync_run(
-                machine_spec=spec,
-                machine=machine,
-                algorithm=algorithm,
-                label=label,
-                wait_times=tuple(wait_times),
-                sample_fraction=sample_fraction,
-                check_offset_alg=check_offset_alg,
-                time_source=ts,
-                seed=seed * 10_000 + (zlib.crc32(label.encode()) % 997) * 101
-                + run_idx,
-            )
-            result.runs.append(run)
+            specs.append(JobSpec(
+                fn=_campaign_job,
+                kwargs=dict(
+                    machine_spec=spec,
+                    label=label,
+                    fitpoint_spacing=spacing,
+                    nexchanges=sc.nexchanges,
+                    wait_times=tuple(wait_times),
+                    sample_fraction=sample_fraction,
+                    time_source=ts,
+                    num_nodes=sc.num_nodes,
+                    ranks_per_node=sc.ranks_per_node,
+                    seedseq=seeds[label_idx * sc.nmpiruns + run_idx],
+                ),
+                label=f"{label}#{run_idx}",
+            ))
+    result.runs = run_jobs(specs, jobs=jobs)
     return result
 
 
-def _one_sync_run(
+def _campaign_job(
     machine_spec: MachineSpec,
-    machine,
-    algorithm: ClockSyncAlgorithm,
     label: str,
+    fitpoint_spacing: float,
+    nexchanges: int,
     wait_times: tuple[float, ...],
     sample_fraction: float,
-    check_offset_alg,
     time_source: TimeSourceSpec,
-    seed: int,
+    num_nodes: int,
+    ranks_per_node: int,
+    seedseq: np.random.SeedSequence,
 ) -> SyncRun:
+    """One campaign scatter point; runs in-process or in a worker.
+
+    Everything (machine, algorithm, offset measurer) is reconstructed
+    from primitive, picklable arguments so the job behaves identically
+    wherever it executes.  A fresh algorithm instance per run matters:
+    algorithms may carry per-engine caches.
+    """
+    machine = machine_spec.machine(num_nodes, ranks_per_node)
+    algorithm = algorithm_from_label(label, fitpoint_spacing=fitpoint_spacing)
+    check_offset_alg = SKaMPIOffset(nexchanges=nexchanges)
+    sample_seed = seed_int(seedseq)
+
     def main(ctx, comm):
         t0 = ctx.now
         global_clock = yield from algorithm.sync_clocks(
@@ -192,7 +222,7 @@ def _one_sync_run(
             check_offset_alg,
             wait_times=wait_times,
             sample_fraction=sample_fraction,
-            sample_seed=seed,
+            sample_seed=sample_seed,
         )
         return (duration, offsets)
 
@@ -200,7 +230,7 @@ def _one_sync_run(
         machine=machine,
         network=machine_spec.network(),
         time_source=time_source,
-        seed=seed,
+        seed=seedseq,
         fabric=machine_spec.fabric(machine.num_nodes),
     )
     values = sim.run(main).values

@@ -43,6 +43,7 @@ def run(
     scale: str = "quick",
     seed: int = 0,
     scenario: str = DEFAULT_SCENARIO,
+    jobs: int | None = 1,
 ) -> dict[str, RecoveryReport]:
     """Run the with/without-resync comparison for one preset scenario."""
     num_nodes, ranks_per_node, horizon, resync_age = _SCALE[scale]
@@ -50,6 +51,7 @@ def run(
     return compare_recovery(
         schedule,
         resync_age=resync_age,
+        jobs=jobs,
         horizon=horizon,
         num_nodes=num_nodes,
         ranks_per_node=ranks_per_node,

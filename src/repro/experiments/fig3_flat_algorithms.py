@@ -39,7 +39,9 @@ def labels_for(scale: Scale) -> list[str]:
     ]
 
 
-def run(scale: str | Scale = "quick", seed: int = 0) -> SyncCampaignResult:
+def run(
+    scale: str | Scale = "quick", seed: int = 0, jobs: int | None = 1
+) -> SyncCampaignResult:
     sc = resolve_scale(scale)
     return run_sync_accuracy_campaign(
         spec=JUPITER,
@@ -47,6 +49,7 @@ def run(scale: str | Scale = "quick", seed: int = 0) -> SyncCampaignResult:
         scale=sc,
         wait_times=(0.0, 10.0),
         seed=seed,
+        jobs=jobs,
     )
 
 

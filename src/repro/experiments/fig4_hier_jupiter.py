@@ -13,8 +13,10 @@ from repro.experiments.common import Scale, SyncCampaignResult
 from repro.experiments.hier import format_hier_result, run_hier_campaign
 
 
-def run(scale: str | Scale = "quick", seed: int = 0) -> SyncCampaignResult:
-    return run_hier_campaign(JUPITER, scale, seed=seed)
+def run(
+    scale: str | Scale = "quick", seed: int = 0, jobs: int | None = 1
+) -> SyncCampaignResult:
+    return run_hier_campaign(JUPITER, scale, seed=seed, jobs=jobs)
 
 
 def format_result(result: SyncCampaignResult) -> str:

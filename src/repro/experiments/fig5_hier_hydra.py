@@ -14,12 +14,14 @@ from repro.experiments.common import Scale, SyncCampaignResult, resolve_scale
 from repro.experiments.hier import format_hier_result, run_hier_campaign
 
 
-def run(scale: str | Scale = "quick", seed: int = 0) -> SyncCampaignResult:
+def run(
+    scale: str | Scale = "quick", seed: int = 0, jobs: int | None = 1
+) -> SyncCampaignResult:
     sc = resolve_scale(scale)
     # Hydra has twice the cores per node of Jupiter (32 vs 16): keep the
     # node count and double the ranks per node, like the paper's 36×32.
     sc = replace(sc, ranks_per_node=sc.ranks_per_node * 2)
-    return run_hier_campaign(HYDRA, sc, seed=seed)
+    return run_hier_campaign(HYDRA, sc, seed=seed, jobs=jobs)
 
 
 def format_result(result: SyncCampaignResult) -> str:

@@ -16,12 +16,14 @@ from repro.experiments.common import Scale, SyncCampaignResult, resolve_scale
 from repro.experiments.hier import format_hier_result, run_hier_campaign
 
 
-def run(scale: str | Scale = "quick", seed: int = 0) -> SyncCampaignResult:
+def run(
+    scale: str | Scale = "quick", seed: int = 0, jobs: int | None = 1
+) -> SyncCampaignResult:
     sc = resolve_scale(scale)
     # Titan is the big machine: 4x the nodes of the Jupiter/Hydra runs.
     sc = replace(sc, num_nodes=sc.num_nodes * 4, nmpiruns=min(sc.nmpiruns, 5))
     return run_hier_campaign(
-        TITAN, sc, seed=seed, sample_fraction=0.1
+        TITAN, sc, seed=seed, sample_fraction=0.1, jobs=jobs
     )
 
 

@@ -32,6 +32,7 @@ def run_hier_campaign(
     seed: int = 0,
     sample_fraction: float = 1.0,
     nmpiruns: int | None = None,
+    jobs: int | None = 1,
 ) -> SyncCampaignResult:
     sc = resolve_scale(scale)
     if nmpiruns is not None:
@@ -45,6 +46,7 @@ def run_hier_campaign(
         wait_times=(0.0, 10.0),
         sample_fraction=sample_fraction,
         seed=seed,
+        jobs=jobs,
     )
 
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.netmodels import infiniband_qdr
 from repro.cluster.topology import Machine
 from repro.faults.schedule import FaultSchedule
+from repro.parallel import JobSpec, run_jobs
 from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
 from repro.simmpi.network import NetworkModel
@@ -235,10 +236,24 @@ def run_recovery(
 def compare_recovery(
     scenario: FaultSchedule,
     resync_age: float = 8.0,
+    jobs: int | None = 1,
     **kwargs,
 ) -> dict[str, RecoveryReport]:
-    """Run the same scenario + seed with and without periodic resync."""
-    return {
-        "baseline": run_recovery(scenario, resync_age=None, **kwargs),
-        "resync": run_recovery(scenario, resync_age=resync_age, **kwargs),
-    }
+    """Run the same scenario + seed with and without periodic resync.
+
+    The two policy runs are independent simulations; ``jobs>1`` executes
+    them on separate worker processes (results are identical to serial —
+    each run's randomness is fully determined by its own arguments).
+    Explicit ``sink``/``metrics`` keyword arguments force the serial
+    path: they are parent-process objects that workers cannot mutate.
+    """
+    if kwargs.get("sink") is not None or kwargs.get("metrics") is not None:
+        jobs = 1
+    specs = [
+        JobSpec(run_recovery, args=(scenario,),
+                kwargs={"resync_age": None, **kwargs}, label="baseline"),
+        JobSpec(run_recovery, args=(scenario,),
+                kwargs={"resync_age": resync_age, **kwargs}, label="resync"),
+    ]
+    baseline, resync = run_jobs(specs, jobs=jobs)
+    return {"baseline": baseline, "resync": resync}

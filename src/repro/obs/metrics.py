@@ -163,6 +163,24 @@ class MetricsRegistry:
                 merged.merge(h)
         return merged
 
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (label-wise).
+
+        Counters and histograms accumulate; a gauge takes the other's
+        last-set value while keeping the combined extremes.  Used by the
+        parallel executor to merge per-worker registries into the parent
+        registry in job-submission order.
+        """
+        for key, c in other._counters.items():
+            self.counter(*key).inc(c.value)
+        for key, g in other._gauges.items():
+            mine = self.gauge(*key)
+            mine.value = g.value
+            mine.max_value = max(mine.max_value, g.max_value)
+            mine.min_value = min(mine.min_value, g.min_value)
+        for key, h in other._histograms.items():
+            self.histogram(*key).merge(h)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, dict]:
         """Plain-dict dump (for run summaries and JSON serialization)."""

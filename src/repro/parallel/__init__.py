@@ -1,0 +1,27 @@
+"""Parallel execution of independent simulated jobs.
+
+The campaigns behind Figs. 3–9 are embarrassingly parallel: each point is
+an independent simulated mpirun.  This package fans them out across
+worker processes without giving up bit-for-bit determinism:
+
+* :func:`~repro.parallel.seeds.job_seeds` — collision-free per-job
+  ``SeedSequence`` derivation (replaces ad-hoc integer seed math),
+* :class:`~repro.parallel.executor.JobSpec` /
+  :func:`~repro.parallel.executor.run_jobs` — submission-ordered
+  process-pool execution with per-worker observability capture,
+* ``jobs=1`` — the in-process serial reference path.
+
+See DESIGN.md ("Performance & parallel execution") for the determinism
+contract.
+"""
+
+from repro.parallel.executor import JobSpec, resolve_jobs, run_jobs
+from repro.parallel.seeds import job_seeds, seed_int
+
+__all__ = [
+    "JobSpec",
+    "job_seeds",
+    "resolve_jobs",
+    "run_jobs",
+    "seed_int",
+]

@@ -1,0 +1,39 @@
+"""Deterministic per-job seed derivation for campaign executors.
+
+One campaign = one root ``numpy.random.SeedSequence``; every independent
+simulated mpirun gets one *spawned child* of that root.  Children are
+derived from the root entropy plus their spawn index, so:
+
+* two jobs can never collide (unlike the previous ``crc32(label) % 997``
+  folding, where distinct ``(label, run_idx, seed)`` triples could map to
+  the same integer seed),
+* the derivation depends only on the job's *position* in the submission
+  order, never on which process executes it — which is what makes the
+  serial and parallel execution paths bit-identical,
+* each child can be spawned further inside the job (engine stream, clock
+  stream, delay pools) without ever touching its siblings.
+
+The scheme: ``job_seeds(root_seed, n)[i] == SeedSequence(root_seed).spawn(n)[i]``
+with spawn key ``(i,)``.  Anything needing a plain integer (e.g. sampling
+helpers built on ``default_rng(int)``) uses :func:`seed_int`, a pure
+function of the child (it does not advance spawn state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def job_seeds(root_seed: int, njobs: int) -> list[np.random.SeedSequence]:
+    """Spawn one independent child seed per job, in submission order."""
+    return np.random.SeedSequence(root_seed).spawn(njobs)
+
+
+def seed_int(seedseq: np.random.SeedSequence) -> int:
+    """A stable 32-bit integer derived from a seed sequence.
+
+    ``generate_state`` is a pure function of the sequence: calling it does
+    not advance the spawn counter, so engine/clock streams spawned from
+    the same child are unaffected.
+    """
+    return int(seedseq.generate_state(1, np.uint32)[0])

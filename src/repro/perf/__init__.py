@@ -1,0 +1,24 @@
+"""Performance micro-harness: engine throughput + campaign wall time.
+
+See :mod:`repro.perf.harness` for the workloads and the
+``BENCH_engine.json`` record format; ``benchmarks/bench_engine_perf.py``
+is the command-line front end.
+"""
+
+from repro.perf.harness import (
+    BENCH_FILE,
+    campaign_benchmark,
+    engine_benchmark,
+    load_bench,
+    record_bench,
+    speedup,
+)
+
+__all__ = [
+    "BENCH_FILE",
+    "campaign_benchmark",
+    "engine_benchmark",
+    "load_bench",
+    "record_bench",
+    "speedup",
+]

@@ -1,0 +1,167 @@
+"""Micro-benchmarks for the simulation engine and campaign executor.
+
+Two workloads, both deterministic per seed:
+
+* :func:`engine_benchmark` — a single simulated job that hammers the
+  engine's hot path (point-to-point sendrecv ring with mixed message
+  sizes, periodic barriers, one closing allreduce) and reports event-loop
+  throughput in messages/second.
+* :func:`campaign_benchmark` — wall-clock time of the Fig. 3 accuracy
+  campaign at quick scale, serial or with the parallel executor.
+
+Results are recorded to ``BENCH_engine.json`` at the repo root via
+:func:`record_bench`; ``benchmarks/bench_engine_perf.py`` is the CLI
+front end (with an inline fallback so the same workload also runs
+against the pre-optimization tree for a baseline entry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any
+
+from repro.cluster.netmodels import infiniband_qdr
+from repro.cluster.topology import Machine
+from repro.simmpi.simulation import Simulation
+
+#: Default file name, resolved relative to the current directory unless
+#: an absolute path is given to :func:`record_bench`/:func:`load_bench`.
+BENCH_FILE = "BENCH_engine.json"
+
+#: Message sizes cycled through by the ring workload (bytes): the small
+#: sizes the sync algorithms use plus a couple of bandwidth-bound ones.
+RING_SIZES = (8, 64, 8, 1024, 8, 65536)
+
+
+def _ring_main(nrounds: int):
+    """SPMD body: nearest-neighbour ring exchange + periodic barriers."""
+
+    def main(ctx, comm):
+        n = ctx.nprocs
+        right = (ctx.rank + 1) % n
+        left = (ctx.rank - 1) % n
+        for r in range(nrounds):
+            size = RING_SIZES[r % len(RING_SIZES)]
+            yield from comm.sendrecv(
+                dest=right, send_tag=r, size=size, source=left
+            )
+            if r % 64 == 63:
+                yield from comm.barrier()
+        total = yield from comm.allreduce(ctx.rank)
+        return total
+
+    return main
+
+
+def engine_benchmark(
+    num_nodes: int = 8,
+    ranks_per_node: int = 4,
+    nrounds: int = 400,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Time one message-heavy job; return throughput figures.
+
+    The returned dict carries ``wall_s``, ``messages``, ``msgs_per_sec``
+    and the workload parameters so entries recorded by different trees
+    are comparable.
+    """
+    machine = Machine(
+        num_nodes=num_nodes,
+        sockets_per_node=1,
+        cores_per_socket=ranks_per_node,
+        ranks_per_node=ranks_per_node,
+        name="perfbox",
+    )
+    sim = Simulation(
+        machine=machine, network=infiniband_qdr(), seed=seed
+    )
+    main = _ring_main(nrounds)
+    t0 = time.perf_counter()
+    result = sim.run(main)
+    wall = time.perf_counter() - t0
+    return {
+        "workload": "ring",
+        "num_nodes": num_nodes,
+        "ranks_per_node": ranks_per_node,
+        "nrounds": nrounds,
+        "seed": seed,
+        "wall_s": wall,
+        "messages": result.messages,
+        "msgs_per_sec": result.messages / wall if wall > 0 else 0.0,
+    }
+
+
+def campaign_benchmark(
+    scale: str = "quick", jobs: int | None = 1, seed: int = 0
+) -> dict[str, Any]:
+    """Wall-clock time of the Fig. 3 campaign (the perf acceptance run)."""
+    from repro.experiments import fig3_flat_algorithms
+
+    t0 = time.perf_counter()
+    result = fig3_flat_algorithms.run(scale=scale, seed=seed, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return {
+        "workload": "fig3_campaign",
+        "scale": scale,
+        "jobs": jobs,
+        "seed": seed,
+        "wall_s": wall,
+        "nruns": len(result.runs),
+    }
+
+
+def load_bench(path: str = BENCH_FILE) -> dict[str, Any]:
+    """Read the benchmark file; empty skeleton if it does not exist."""
+    if not os.path.exists(path):
+        return {"benchmark": "engine_perf", "entries": {}}
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def record_bench(
+    label: str, entry: dict[str, Any], path: str = BENCH_FILE
+) -> dict[str, Any]:
+    """Merge ``entry`` under ``label`` into the benchmark file.
+
+    Existing entries under other labels are preserved, so a ``baseline``
+    recorded from the pre-optimization tree survives ``current`` updates.
+    """
+    data = load_bench(path)
+    entry = dict(entry)
+    entry.setdefault("recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S"))
+    entry.setdefault("python", platform.python_version())
+    entry.setdefault("cpus", os.cpu_count())
+    data["entries"][label] = entry
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+def speedup(data: dict[str, Any], metric: str = "engine") -> float | None:
+    """``current`` over ``baseline`` improvement for one metric.
+
+    ``metric="engine"`` compares msgs/sec (higher is better);
+    ``metric="campaign"`` compares wall seconds (lower is better), using
+    the *fastest* recorded current configuration — serial or parallel —
+    because on a single-CPU host the parallel path cannot beat serial.
+    Returns ``None`` when either entry is missing.
+    """
+    entries = data.get("entries", {})
+    base, cur = entries.get("baseline"), entries.get("current")
+    if not base or not cur:
+        return None
+    if metric == "engine":
+        b = base.get("engine", {}).get("msgs_per_sec")
+        c = cur.get("engine", {}).get("msgs_per_sec")
+        return c / b if b and c else None
+    b = base.get("campaign", {}).get("wall_s")
+    walls = [
+        cur[key]["wall_s"]
+        for key in ("campaign", "campaign_parallel")
+        if cur.get(key, {}).get("wall_s")
+    ]
+    return b / min(walls) if b and walls else None

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from math import log1p
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, RecvDescriptor
 from repro.simmpi.network import Level, NetworkModel
+from repro.simmpi.rngpool import DEFAULT_CHUNK, UniformPool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
@@ -51,6 +53,10 @@ class SendCmd:
 
     ``synchronous=True`` models ``MPI_Ssend``: the sender blocks until the
     receiver has matched the message, then pays one ack latency.
+
+    ``size`` is validated here, at construction, so a negative size can
+    never reach the delay/``bytes_sent`` accounting paths — the network
+    model's per-message ``delay`` call stays check-free.
     """
 
     dest: int
@@ -58,6 +64,12 @@ class SendCmd:
     payload: Any = None
     size: int = 8
     synchronous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SimulationError(
+                f"message size must be >= 0, got {self.size}"
+            )
 
 
 @dataclass
@@ -70,9 +82,17 @@ class RecvCmd:
 
 @dataclass
 class ElapseCmd:
-    """Consume ``duration`` seconds of local computation."""
+    """Consume ``duration`` seconds of local computation.
+
+    Negative durations are rejected at construction (the engine's command
+    loop no longer re-checks per execution).
+    """
 
     duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError("cannot elapse a negative duration")
 
 
 @dataclass
@@ -98,12 +118,15 @@ class _Proc:
         "finished",
         "result",
         "rng",
+        "pool",
         "mailbox",
         "recv_wait",
         "block_time",
     )
 
-    def __init__(self, rank: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self, rank: int, rng: np.random.Generator, pool: UniformPool
+    ) -> None:
         self.rank = rank
         self.gen: Generator[Command, Any, Any] | None = None
         self.now = 0.0
@@ -117,6 +140,10 @@ class _Proc:
         self.finished = False
         self.result: Any = None
         self.rng = rng
+        #: Chunked uniform pool feeding this process's message-delay
+        #: draws; a dedicated stream (spawned from the same per-process
+        #: seed) so pool prefetching never steals draws from ``rng``.
+        self.pool = pool
         #: Messages deposited for this rank, in send order.
         self.mailbox: list[Message] = []
         self.recv_wait: RecvDescriptor | None = None
@@ -138,6 +165,7 @@ class Engine:
         sink: EventSink | None = None,
         metrics: MetricsRegistry | None = None,
         injector: "FaultInjector | None" = None,
+        rng_pool_chunk: int = DEFAULT_CHUNK,
     ) -> None:
         self.network = network
         self.level_of = level_of
@@ -160,6 +188,18 @@ class Engine:
         self._seq = itertools.count()
         self._msg_seq = itertools.count()
         self._started = False
+        #: Chunk size of the per-process delay-draw pools (a pure perf
+        #: knob: results are bit-identical for any value, see rngpool).
+        self.rng_pool_chunk = rng_pool_chunk
+        #: Unfinished processes; the causality gate is skipped once only
+        #: one process remains (no shared state left to keep causal).
+        self._live = 0
+        #: Commands deferred by the causality gate (heap round-trips).
+        self.gate_deferrals = 0
+        #: ``rank -> node`` resolved once at run() (hot-path cache).
+        self._node_cache: list[int] = []
+        #: ``(src, dest) -> Level`` memo of ``level_of`` (hot-path cache).
+        self._level_cache: dict[tuple[int, int], Level] = {}
         #: Optional observability hooks (see :mod:`repro.obs`).  Both are
         #: passive; with ``sink=None`` the emission sites reduce to one
         #: pointer comparison (the zero-overhead fast path).
@@ -186,12 +226,23 @@ class Engine:
     # Setup
     # ------------------------------------------------------------------
     def add_process(self) -> int:
-        """Reserve a rank and its RNG; returns the new global rank."""
+        """Reserve a rank and its RNG; returns the new global rank.
+
+        Each process gets two independent streams spawned from its own
+        child seed: ``rng`` (algorithm-visible randomness — poll slack,
+        fault perturbations) and a pooled stream dedicated to message-
+        delay draws.  Keeping them separate means pool prefetching can
+        never shift draws seen by algorithm-level consumers.
+        """
         if self._started:
             raise SimulationError("cannot add processes after run() started")
         rank = len(self._procs)
-        rng = np.random.default_rng(self._seedseq.spawn(1)[0])
-        self._procs.append(_Proc(rank, rng))
+        child = self._seedseq.spawn(1)[0]
+        rng = np.random.default_rng(child)
+        pool = UniformPool(
+            np.random.default_rng(child.spawn(1)[0]), self.rng_pool_chunk
+        )
+        self._procs.append(_Proc(rank, rng, pool))
         return rank
 
     def bind(self, rank: int, gen: Generator[Command, Any, Any]) -> None:
@@ -239,17 +290,30 @@ class Engine:
             if proc.gen is None:
                 raise SimulationError(f"rank {proc.rank} has no body bound")
             self._schedule(proc, 0.0)
+        # Resolve topology lookups once: placements are immutable, so the
+        # rank->node and (src, dest)->level maps are pure functions.  The
+        # node cache is a flat list; levels memoize lazily (only pairs
+        # that actually communicate are materialized).
+        self._node_cache = [
+            self.node_of(rank) for rank in range(len(self._procs))
+        ]
+        self._level_cache.clear()
+        self._live = len(self._procs)
 
-        while self._heap:
-            t, _, rank = heapq.heappop(self._heap)
-            proc = self._procs[rank]
+        heap = self._heap
+        procs = self._procs
+        max_true_time = self.max_true_time
+        while heap:
+            t, _, rank = heapq.heappop(heap)
+            proc = procs[rank]
             if proc.finished:
                 continue
-            if t > self.max_true_time:
+            if t > max_true_time:
                 raise SimulationError(
-                    f"simulation exceeded max_true_time={self.max_true_time}"
+                    f"simulation exceeded max_true_time={max_true_time}"
                 )
-            proc.now = max(proc.now, t)
+            if t > proc.now:
+                proc.now = t
             self._run_proc(proc)
 
         unfinished = [p.rank for p in self._procs if not p.finished]
@@ -283,18 +347,29 @@ class Engine:
         cmd: Command | None = proc.pending_cmd
         proc.pending_cmd = None
         proc.blocked = None
+        # Hot-loop locals: these attributes are stable across the run and
+        # each dotted lookup costs a dict probe per command otherwise.
+        heap = self._heap
+        sink = self.sink
+        injector = self.injector
+        send = gen.send
         while True:
             if cmd is None:
                 try:
-                    cmd = gen.send(value)
+                    cmd = send(value)
                 except StopIteration as stop:
                     proc.finished = True
                     proc.result = stop.value
+                    self._live -= 1
                     return
                 value = None
-            if self._heap and proc.now > self._heap[0][0]:
+            if heap and proc.now > heap[0][0] and self._live > 1:
                 # Ahead of the frontier: defer until the heap catches up.
+                # With a single live process there is nobody left to
+                # observe shared state out of order, so the round-trip
+                # through the heap is skipped entirely.
                 proc.pending_cmd = cmd
+                self.gate_deferrals += 1
                 self._schedule(proc, proc.now)
                 return
             if type(cmd) is SendCmd:
@@ -310,20 +385,19 @@ class Engine:
                         proc.rank, cmd.source, cmd.tag, proc.now
                     )
                     proc.block_time = proc.now
-                    if self.sink is not None:
-                        self.sink.emit(obs_events.ProcBlock(
+                    if sink is not None:
+                        sink.emit(obs_events.ProcBlock(
                             time=proc.now, rank=proc.rank, reason="recv",
                             source=cmd.source, tag=cmd.tag,
                         ))
                     return
                 value = self._complete_recv(proc, msg)
             elif type(cmd) is ElapseCmd:
-                if cmd.duration < 0:
-                    raise SimulationError("cannot elapse a negative duration")
+                # duration >= 0 is guaranteed by ElapseCmd construction.
                 duration = cmd.duration
-                if self.injector is not None and duration > 0.0:
+                if injector is not None and duration > 0.0:
                     # Straggler faults: compute runs slower in the window.
-                    duration = self.injector.perturb_compute(
+                    duration = injector.perturb_compute(
                         proc.now, proc.rank, duration, proc.rng
                     )
                 proc.now += duration
@@ -340,54 +414,65 @@ class Engine:
     def _do_send(self, proc: _Proc, cmd: SendCmd) -> None:
         if not 0 <= cmd.dest < len(self._procs):
             raise MatchingError(f"send to invalid rank {cmd.dest}")
-        level = self.level_of(proc.rank, cmd.dest)
+        # Hot-path locals (one message = one _do_send call).
+        network = self.network
+        sink = self.sink
+        metrics = self.metrics
+        injector = self.injector
+        pool = proc.pool
+        level_cache = self._level_cache
+        pair = (proc.rank, cmd.dest)
+        level = level_cache.get(pair)
+        if level is None:
+            level = level_cache[pair] = self.level_of(proc.rank, cmd.dest)
         send_time = proc.now
         seq = next(self._msg_seq)
         self.messages_sent += 1
         self.bytes_sent += cmd.size
-        if self.sink is not None:
-            self.sink.emit(obs_events.MsgSend(
+        if sink is not None:
+            sink.emit(obs_events.MsgSend(
                 time=send_time, rank=proc.rank, dest=cmd.dest, tag=cmd.tag,
                 size=cmd.size, seq=seq, level=level.name,
                 synchronous=cmd.synchronous,
             ))
             if cmd.synchronous:
-                self.sink.emit(obs_events.ProcBlock(
+                sink.emit(obs_events.ProcBlock(
                     time=send_time, rank=proc.rank, reason="ssend",
                     source=cmd.dest, tag=cmd.tag,
                 ))
         if cmd.synchronous:
             self.rendezvous_stalls += 1
             proc.block_time = send_time
-        if self.metrics is not None:
-            self.metrics.counter("engine.bytes.sent",
-                                 proc.rank).inc(cmd.size)
+        if metrics is not None:
+            metrics.counter("engine.bytes.sent",
+                            proc.rank).inc(cmd.size)
             if cmd.synchronous:
-                self.metrics.counter("engine.rendezvous.stalls",
-                                     proc.rank).inc()
-        proc.now += self.network.o_send
-        delay = self.network.delay(level, cmd.size, proc.rng)
-        if self.injector is not None:
+                metrics.counter("engine.rendezvous.stalls",
+                                proc.rank).inc()
+        proc.now += network.o_send
+        delay = network.delay_from_pool(level, cmd.size, pool)
+        if injector is not None:
             # Link faults: windowed degradation of the delay draw.
-            delay = self.injector.perturb_delay(
+            delay = injector.perturb_delay(
                 send_time, level, delay, proc.rng
             )
+        nodes = self._node_cache
         if (
             self.extra_node_latency is not None
             and level == Level.REMOTE
         ):
             delay += self.extra_node_latency(
-                self.node_of(proc.rank), self.node_of(cmd.dest)
+                nodes[proc.rank], nodes[cmd.dest]
             )
-        arrival = send_time + self.network.o_send + delay
-        gap = self.network.nic_gap
+        arrival = send_time + network.o_send + delay
+        gap = network.nic_gap
         if gap > 0.0 and level == Level.REMOTE:
             # Egress: messages leaving a node serialize at its NIC.
-            src_node = self.node_of(proc.rank)
+            src_node = nodes[proc.rank]
             egress_gap = gap
-            if self.injector is not None:
+            if injector is not None:
                 # NIC storm faults: the serialization gap grows.
-                egress_gap = gap * self.injector.nic_gap_factor(
+                egress_gap = gap * injector.nic_gap_factor(
                     proc.now, src_node
                 )
             inject = max(proc.now, self._nic_egress.get(src_node, 0.0))
@@ -395,26 +480,26 @@ class Engine:
             # Congestion: delay variance grows with the backlog this
             # message found at the NIC (queueing, adaptive routing...).
             backlog = (inject - proc.now) / egress_gap
-            cj = self.network.congestion_jitter
+            cj = network.congestion_jitter
             if cj > 0.0 and backlog > 0.0:
-                delay += proc.rng.exponential(cj * backlog)
+                delay += cj * backlog * -log1p(-pool.next())
             arrival = inject + egress_gap + delay
             # Ingress: arrivals at the destination node serialize too.
-            dst_node = self.node_of(cmd.dest)
+            dst_node = nodes[cmd.dest]
             ingress_gap = gap
-            if self.injector is not None:
-                ingress_gap = gap * self.injector.nic_gap_factor(
+            if injector is not None:
+                ingress_gap = gap * injector.nic_gap_factor(
                     proc.now, dst_node
                 )
             arrival = max(arrival, self._nic_ingress.get(dst_node, 0.0))
             self._nic_ingress[dst_node] = arrival + ingress_gap
-            if self.sink is not None and backlog > 0.0:
-                self.sink.emit(obs_events.NicQueue(
+            if sink is not None and backlog > 0.0:
+                sink.emit(obs_events.NicQueue(
                     time=send_time, rank=proc.rank, node=src_node,
                     backlog=backlog, inject_time=inject,
                 ))
-            if self.metrics is not None:
-                self.metrics.histogram("engine.nic.backlog").observe(
+            if metrics is not None:
+                metrics.histogram("engine.nic.backlog").observe(
                     max(0.0, backlog)
                 )
         msg = Message(
@@ -438,8 +523,8 @@ class Engine:
             dest.pending_value = None
             resume_at = max(dest.now, msg.arrival)
             dest.now = resume_at
-            if self.sink is not None:
-                self.sink.emit(obs_events.ProcWake(
+            if sink is not None:
+                sink.emit(obs_events.ProcWake(
                     time=resume_at, rank=dest.rank
                 ))
             dest.pending_value = self._finish_delivery(dest, msg)
@@ -449,9 +534,9 @@ class Engine:
             depth = len(dest.mailbox)
             if depth > self.max_mailbox_depth:
                 self.max_mailbox_depth = depth
-            if self.metrics is not None:
-                self.metrics.histogram("engine.mailbox.depth",
-                                       dest.rank).observe(depth)
+            if metrics is not None:
+                metrics.histogram("engine.mailbox.depth",
+                                  dest.rank).observe(depth)
 
     def _match_mailbox(self, proc: _Proc, source: int, tag: int) -> Message | None:
         for i, msg in enumerate(proc.mailbox):
@@ -481,8 +566,13 @@ class Engine:
         sender = msg.sync_sender
         if sender is not None:
             # The ack travels back; the sender resumes after its arrival.
-            level = self.level_of(msg.dest, msg.source)
-            ack_delay = self.network.delay(level, 8, proc.rng)
+            pair = (msg.dest, msg.source)
+            level = self._level_cache.get(pair)
+            if level is None:
+                level = self._level_cache[pair] = self.level_of(
+                    msg.dest, msg.source
+                )
+            ack_delay = self.network.delay_from_pool(level, 8, proc.pool)
             if self.injector is not None:
                 ack_delay = self.injector.perturb_delay(
                     proc.now, level, ack_delay, proc.rng
@@ -523,4 +613,5 @@ class Engine:
             "bytes_delivered": self.bytes_delivered,
             "rendezvous_stalls": self.rendezvous_stalls,
             "max_mailbox_depth": self.max_mailbox_depth,
+            "gate_deferrals": self.gate_deferrals,
         }

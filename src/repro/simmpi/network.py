@@ -14,14 +14,35 @@ are what invalidates window-based measurements in the paper's discussion
 Sender- and receiver-side CPU overheads (``o_send``/``o_recv``) are charged
 to the calling process's time line by the engine, matching the LogGP "o"
 parameter.
+
+Randomness contract: every stochastic term is derived from *uniform*
+variates by explicit inverse-CDF transforms (``Exp(s) = -s·log1p(-U)``),
+consuming exactly one uniform per variate.  The engine feeds these from
+chunked :class:`~repro.simmpi.rngpool.UniformPool` buffers; the scalar
+:meth:`NetworkModel.delay` entry point consumes the same one-uniform-per-
+variate pattern straight from a generator, so pooled and scalar execution
+produce bit-identical delay sequences for the same seed.
+
+Message-size validation happens where messages are *constructed*
+(:class:`~repro.simmpi.engine.SendCmd` rejects negative sizes), not here:
+``delay`` is the per-message hot path and stays branch-minimal.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from math import log1p
 
 import numpy as np
+
+from repro.simmpi.rngpool import UniformPool
+
+#: Entries kept in the per-model ``(level, size) -> base delay`` cache
+#: before it is reset.  Sync workloads use a handful of distinct message
+#: sizes, so the cache almost never cycles; the bound only guards against
+#: adversarial size churn growing memory without limit.
+_BASE_CACHE_LIMIT = 4096
 
 
 class Level(enum.IntEnum):
@@ -92,6 +113,13 @@ class NetworkModel:
     congestion_jitter: float = 0.0
     name: str = "generic"
     _resolved: dict[Level, LinkParams] = field(init=False, repr=False)
+    #: Per-level hot-path parameters, indexed by ``int(level)``:
+    #: ``(latency, 1/bandwidth, jitter_scale, outlier_prob, outlier_scale)``.
+    _fast: list[tuple[float, float, float, float, float]] = field(
+        init=False, repr=False
+    )
+    #: Bounded ``(level, size) -> latency + size/bandwidth`` cache.
+    _base_cache: dict[tuple[int, int], float] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.levels:
@@ -112,21 +140,67 @@ class NetworkModel:
         for level in Level:
             resolved.setdefault(level, finest_defined)
         self._resolved = resolved
+        self._fast = [
+            (
+                resolved[level].latency,
+                1.0 / resolved[level].bandwidth,
+                resolved[level].jitter_scale,
+                resolved[level].outlier_prob,
+                resolved[level].outlier_scale,
+            )
+            for level in sorted(Level)
+        ]
+        self._base_cache = {}
 
     def params_for(self, level: Level) -> LinkParams:
         """The effective link parameters for a topology level."""
         return self._resolved[level]
 
+    def base_delay(self, level: Level, size: int) -> float:
+        """Deterministic wire time ``latency + size/bandwidth``, cached.
+
+        The cache is keyed by ``(level, size)`` and bounded (it resets
+        after ``_BASE_CACHE_LIMIT`` distinct keys); sync workloads reuse a
+        handful of sizes, so the division is paid once per size.
+        """
+        key = (level, size)
+        cache = self._base_cache
+        base = cache.get(key)
+        if base is None:
+            if len(cache) >= _BASE_CACHE_LIMIT:
+                cache.clear()
+            lat, inv_bw, _, _, _ = self._fast[level]
+            base = lat + size * inv_bw
+            cache[key] = base
+        return base
+
     def delay(self, level: Level, size: int, rng: np.random.Generator) -> float:
-        """Draw the wire time of one ``size``-byte message at ``level``."""
-        if size < 0:
-            raise ValueError("message size must be >= 0")
-        p = self._resolved[level]
-        d = p.latency + size / p.bandwidth
-        if p.jitter_scale > 0.0:
-            d += rng.exponential(p.jitter_scale)
-        if p.outlier_prob > 0.0 and rng.random() < p.outlier_prob:
-            d += rng.exponential(p.outlier_scale)
+        """Draw the wire time of one ``size``-byte message at ``level``.
+
+        Scalar reference path: consumes one ``rng.random()`` per variate
+        in the same order as :meth:`delay_from_pool`, so a pool wrapped
+        around an identically seeded generator yields the same delays.
+        ``size`` is validated at :class:`~repro.simmpi.engine.SendCmd`
+        construction, not here.
+        """
+        _, _, jitter, outlier_prob, outlier_scale = self._fast[level]
+        d = self.base_delay(level, size)
+        if jitter > 0.0:
+            d += jitter * -log1p(-rng.random())
+        if outlier_prob > 0.0 and rng.random() < outlier_prob:
+            d += outlier_scale * -log1p(-rng.random())
+        return d
+
+    def delay_from_pool(
+        self, level: Level, size: int, pool: UniformPool
+    ) -> float:
+        """Pooled hot-path twin of :meth:`delay` (same variate order)."""
+        _, _, jitter, outlier_prob, outlier_scale = self._fast[level]
+        d = self.base_delay(level, size)
+        if jitter > 0.0:
+            d += jitter * -log1p(-pool.next())
+        if outlier_prob > 0.0 and pool.next() < outlier_prob:
+            d += outlier_scale * -log1p(-pool.next())
         return d
 
     def expected_delay(self, level: Level, size: int) -> float:

@@ -82,7 +82,7 @@ class Simulation:
         machine: Machine,
         network: NetworkModel,
         time_source: TimeSourceSpec = CLOCK_GETTIME,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
         clocks_per: str = "node",
         poll_interval: float = 0.1e-6,
         max_true_time: float = 1e7,
@@ -90,6 +90,7 @@ class Simulation:
         sink: EventSink | None = None,
         metrics: MetricsRegistry | None = None,
         faults: FaultSchedule | None = None,
+        rng_pool_chunk: int | None = None,
     ) -> None:
         """Set up the job.
 
@@ -112,6 +113,15 @@ class Simulation:
         :mod:`repro.faults`): clock faults wrap the affected node clocks
         at construction; network/compute faults are applied by the
         engine at their exact virtual times.  Deterministic per seed.
+
+        ``seed`` may be a plain integer or a ``numpy.random.SeedSequence``
+        (e.g. a child spawned by the parallel campaign executor); engine
+        and clock streams are derived from it identically either way.
+
+        ``rng_pool_chunk`` sizes the engine's batched uniform-draw pools
+        (default: :data:`repro.simmpi.rngpool.DEFAULT_CHUNK`).  It is a
+        pure performance knob — results are identical for every chunk
+        size, which ``tests/parallel`` pins.
         """
         if clocks_per not in ("node", "socket", "core"):
             raise SimulationError(
@@ -125,7 +135,11 @@ class Simulation:
         self.poll_interval = poll_interval
         self.max_true_time = max_true_time
 
-        seedseq = np.random.SeedSequence(seed)
+        seedseq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
         engine_seed, clock_seed = seedseq.spawn(2)
         self.fabric = fabric
         self.sink = sink if sink is not None else get_default_sink()
@@ -150,6 +164,11 @@ class Simulation:
             sink=self.sink,
             metrics=self.metrics,
             injector=injector,
+            **(
+                {"rng_pool_chunk": rng_pool_chunk}
+                if rng_pool_chunk is not None
+                else {}
+            ),
         )
         clock_rng = np.random.default_rng(clock_seed)
         # One clock per time-source domain; ranks in a domain share it.

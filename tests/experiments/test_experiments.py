@@ -124,7 +124,9 @@ class TestFig8:
 
 class TestFig9:
     def test_osu_inflated_at_small_sizes(self):
-        res = fig9_roundtime.run(TINY, seed=8, nmpiruns=1,
+        # Two mpiruns: the size-4 vs size-1024 inflation ordering is a
+        # mean effect and too noisy to pin on a single simulated run.
+        res = fig9_roundtime.run(TINY, seed=8, nmpiruns=2,
                                  msizes=(4, 8, 1024))
         assert res.inflation(4) > 1.1
         # Relative inflation shrinks for the largest payload.

@@ -282,8 +282,10 @@ class TestStats:
             "bytes_delivered": 128,
             "rendezvous_stalls": 0,
             "max_mailbox_depth": stats["max_mailbox_depth"],
+            "gate_deferrals": stats["gate_deferrals"],
         }
         assert stats["max_mailbox_depth"] >= 0
+        assert stats["gate_deferrals"] >= 0
 
     def test_rendezvous_stall_counted(self):
         engine = make_engine()

@@ -122,10 +122,44 @@ class TestDelay:
             ]
             assert min(draws) >= floor
 
-    def test_negative_size_rejected(self):
+    def test_negative_size_rejected_at_send_construction(self):
+        # Validation moved out of the per-message delay() hot path: a
+        # negative size can never reach the network model because SendCmd
+        # construction rejects it (see engine.SendCmd.__post_init__).
+        from repro.errors import SimulationError
+        from repro.simmpi.engine import SendCmd
+
+        with pytest.raises(SimulationError):
+            SendCmd(dest=1, tag=0, size=-1)
+
+    def test_pooled_delay_matches_scalar(self):
+        # delay() and delay_from_pool() must consume uniforms in the same
+        # order: identical seeds -> bit-identical delay sequences, for any
+        # pool chunk size.
+        from repro.simmpi.rngpool import UniformPool
+
+        model = self._model(
+            jitter_scale=1e-6, outlier_prob=0.3, outlier_scale=40e-6
+        )
+        for chunk in (1, 7, 256):
+            scalar_rng = np.random.default_rng(123)
+            pool = UniformPool(np.random.default_rng(123), chunk=chunk)
+            scalar = [
+                model.delay(Level.REMOTE, 64, scalar_rng)
+                for _ in range(500)
+            ]
+            pooled = [
+                model.delay_from_pool(Level.REMOTE, 64, pool)
+                for _ in range(500)
+            ]
+            assert scalar == pooled
+
+    def test_base_delay_cached(self):
         model = self._model()
-        with pytest.raises(ValueError):
-            model.delay(Level.REMOTE, -1, np.random.default_rng(0))
+        d1 = model.base_delay(Level.REMOTE, 4096)
+        assert (Level.REMOTE, 4096) in model._base_cache
+        assert model.base_delay(Level.REMOTE, 4096) == d1
+        assert d1 == pytest.approx(2e-6 + 4096 / 1e9)
 
     def test_expected_delay_matches_empirical(self):
         model = self._model(jitter_scale=0.5e-6)

@@ -9,6 +9,9 @@ Observability options (see :mod:`repro.obs`):
 
 * ``--obs-summary`` installs a process-wide event sink + metrics registry
   for the run and prints event counts and metric aggregates afterwards.
+* ``--health-report DIR`` installs a clock-health telemetry bank, runs
+  the anomaly detectors over the sampled series afterwards, and writes a
+  self-contained ``report.html`` + machine-readable ``report.json``.
 * ``--chrome-trace-dir DIR`` (with the ``fig10`` target) additionally
   exports the traced AMG run as Chrome trace-event JSON, once through the
   raw local clocks and once through the H2HCA global clocks — open both
@@ -20,9 +23,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import ExitStack
 
 from repro.obs.events import CountingSink, default_sink
+from repro.obs.health import evaluate_health
 from repro.obs.metrics import MetricsRegistry, default_metrics, format_summary
+from repro.obs.report import build_report, write_report
+from repro.obs.timeseries import TimeSeriesBank, default_timeseries
 from repro.experiments import (
     fault_recovery,
     fig2_drift,
@@ -113,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
              "job and print aggregate counts afterwards",
     )
     parser.add_argument(
+        "--health-report",
+        metavar="DIR",
+        help="attach a clock-health telemetry bank to every simulated "
+             "job, run the anomaly detectors afterwards, and write "
+             "report.html + report.json under DIR (byte-identical for "
+             "any --jobs value, modulo the generated_at timestamp)",
+    )
+    parser.add_argument(
         "--chrome-trace-dir",
         metavar="DIR",
         help="with the fig10 target: also export the traced AMG run as "
@@ -139,6 +154,42 @@ def _print_obs_summary(sink: CountingSink, registry: MetricsRegistry) -> None:
         print("metrics:")
         for line in metrics_text.splitlines():
             print(f"  {line}")
+
+
+def _write_health_report(
+    out_dir: str,
+    targets: list[str],
+    args: argparse.Namespace,
+    bank: TimeSeriesBank,
+    registry: MetricsRegistry,
+) -> None:
+    verdict = evaluate_health(bank)
+    report = build_report(
+        bank=bank,
+        metrics=registry,
+        verdict=verdict,
+        meta={
+            "targets": targets,
+            "scale": args.scale,
+            "seed": args.seed,
+            "scenario": (
+                args.scenario if "fault_recovery" in targets else None
+            ),
+        },
+    )
+    json_path, html_path = write_report(report, out_dir)
+    print("=== clock-health report ===")
+    print(
+        f"status: {verdict.status} ({len(verdict.findings)} findings, "
+        f"{verdict.series_scanned} error series scanned)"
+    )
+    for name, summary in verdict.detectors.items():
+        print(
+            f"  {name}: {summary['findings']} findings "
+            f"(worst {summary['worst']})"
+        )
+    print(f"report.json: {json_path}")
+    print(f"report.html: {html_path}")
 
 
 def _export_chrome_traces(out_dir: str, scale: str, seed: int) -> None:
@@ -190,14 +241,27 @@ def main(argv: list[str] | None = None) -> int:
                   f"{info['fault_events']} fault spans, "
                   f"{info['resync_events']} resync rounds")
 
-    if args.obs_summary:
-        sink = CountingSink()
-        registry = MetricsRegistry()
-        with default_sink(sink), default_metrics(registry):
-            run_targets()
-        _print_obs_summary(sink, registry)
-    else:
+    sink: CountingSink | None = None
+    registry: MetricsRegistry | None = None
+    bank: TimeSeriesBank | None = None
+    with ExitStack() as stack:
+        if args.obs_summary:
+            sink = CountingSink()
+            stack.enter_context(default_sink(sink))
+        if args.obs_summary or args.health_report:
+            # One registry serves both outputs when both are requested.
+            registry = MetricsRegistry()
+            stack.enter_context(default_metrics(registry))
+        if args.health_report:
+            bank = TimeSeriesBank()
+            stack.enter_context(default_timeseries(bank))
         run_targets()
+    if args.obs_summary:
+        _print_obs_summary(sink, registry)
+    if args.health_report:
+        _write_health_report(
+            args.health_report, targets, args, bank, registry
+        )
     return 0
 
 

@@ -11,6 +11,7 @@ creation for hierarchical schemes), y = the measured maximum clock offset.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -18,6 +19,7 @@ import numpy as np
 
 from repro.analysis.accuracy import check_clock_accuracy, max_abs_offset
 from repro.cluster.machines import MachineSpec
+from repro.obs.timeseries import get_default_timeseries
 from repro.parallel import JobSpec, job_seeds, run_jobs, seed_int
 from repro.simmpi.simulation import Simulation
 from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
@@ -179,6 +181,7 @@ def run_sync_accuracy_campaign(
                     num_nodes=sc.num_nodes,
                     ranks_per_node=sc.ranks_per_node,
                     seedseq=seeds[label_idx * sc.nmpiruns + run_idx],
+                    scope=f"{label}#{run_idx}",
                 ),
                 label=f"{label}#{run_idx}",
             ))
@@ -197,6 +200,7 @@ def _campaign_job(
     num_nodes: int,
     ranks_per_node: int,
     seedseq: np.random.SeedSequence,
+    scope: str = "",
 ) -> SyncRun:
     """One campaign scatter point; runs in-process or in a worker.
 
@@ -204,11 +208,18 @@ def _campaign_job(
     from primitive, picklable arguments so the job behaves identically
     wherever it executes.  A fresh algorithm instance per run matters:
     algorithms may carry per-engine caches.
+
+    With a process-wide telemetry bank installed, the job deposits its
+    clock-health series (per-rank sync duration and estimated-vs-rank-0
+    global-clock error over the accuracy-check window, plus whatever the
+    engine/sync layers sample) under ``scope`` — the executor merges the
+    per-job banks back into the campaign-level bank.
     """
     machine = machine_spec.machine(num_nodes, ranks_per_node)
     algorithm = algorithm_from_label(label, fitpoint_spacing=fitpoint_spacing)
     check_offset_alg = SKaMPIOffset(nexchanges=nexchanges)
     sample_seed = seed_int(seedseq)
+    bank = get_default_timeseries()
 
     def main(ctx, comm):
         t0 = ctx.now
@@ -224,18 +235,21 @@ def _campaign_job(
             sample_fraction=sample_fraction,
             sample_seed=sample_seed,
         )
-        return (duration, offsets)
+        return (duration, offsets, global_clock)
 
-    sim = Simulation(
-        machine=machine,
-        network=machine_spec.network(),
-        time_source=time_source,
-        seed=seedseq,
-        fabric=machine_spec.fabric(machine.num_nodes),
-    )
-    values = sim.run(main).values
-    duration = max(v[0] for v in values)
-    offsets_by_wait = values[0][1]
+    with bank.scoped(scope) if bank is not None else nullcontext():
+        sim = Simulation(
+            machine=machine,
+            network=machine_spec.network(),
+            time_source=time_source,
+            seed=seedseq,
+            fabric=machine_spec.fabric(machine.num_nodes),
+        )
+        values = sim.run(main).values
+        duration = max(v[0] for v in values)
+        offsets_by_wait = values[0][1]
+        if bank is not None:
+            _sample_campaign_telemetry(bank, values, duration, wait_times)
     return SyncRun(
         label=label,
         duration=duration,
@@ -244,3 +258,29 @@ def _campaign_job(
             for wait, per_client in offsets_by_wait.items()
         },
     )
+
+
+#: Grid points of the post-sync clock-error trajectory per campaign job.
+_ERROR_GRID_POINTS = 25
+
+
+def _sample_campaign_telemetry(bank, values, duration, wait_times) -> None:
+    """Deposit one job's clock-health series into the telemetry bank.
+
+    ``clock.error`` is each rank's estimated global clock read against
+    rank 0's (the sync reference) on a regular true-time grid spanning
+    the accuracy-check window — rank 0 against itself is identically
+    zero and is skipped.  Purely post-hoc: the simulation is finished,
+    so the reads cannot perturb it.
+    """
+    for rank, value in enumerate(values):
+        bank.sample("sync.duration", value[0], value[0], rank=rank)
+    clocks = [value[2] for value in values]
+    span = max(wait_times) if wait_times else 0.0
+    horizon = duration + (span if span > 0.0 else 1.0)
+    ref = clocks[0]
+    for i in range(_ERROR_GRID_POINTS):
+        t = duration + (horizon - duration) * i / (_ERROR_GRID_POINTS - 1)
+        ref_read = ref.read(t)
+        for rank, clk in enumerate(clocks[1:], start=1):
+            bank.sample("clock.error", t, clk.read(t) - ref_read, rank=rank)

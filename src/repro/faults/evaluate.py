@@ -17,6 +17,7 @@ high without it.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -28,6 +29,7 @@ from repro.faults.schedule import FaultSchedule
 from repro.parallel import JobSpec, run_jobs
 from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesBank, get_default_timeseries
 from repro.simmpi.network import NetworkModel
 from repro.simmpi.simulation import Simulation
 from repro.simtime.base import Clock
@@ -136,6 +138,7 @@ def run_recovery(
     seed: int = 0,
     sink: EventSink | None = None,
     metrics: MetricsRegistry | None = None,
+    timeseries: TimeSeriesBank | None = None,
 ) -> RecoveryReport:
     """Run one policy through ``scenario`` and score its recovery.
 
@@ -143,7 +146,30 @@ def run_recovery(
     otherwise each rank holds a :class:`PeriodicResyncClock` with that
     ``max_model_age`` and calls ``ensure`` every ``ensure_interval``
     seconds of simulated time until ``horizon``.
+
+    With a telemetry bank attached (explicitly or via the process-wide
+    default), everything the run samples — engine NIC backlog, resync
+    markers, and the ground-truth per-rank ``clock.error`` series scored
+    below — lands under a ``"resync"``/``"baseline"`` scope so the two
+    policies of :func:`compare_recovery` stay separable.
     """
+    bank = (
+        timeseries if timeseries is not None else get_default_timeseries()
+    )
+    scope = "resync" if resync_age is not None else "baseline"
+    with bank.scoped(scope) if bank is not None else nullcontext():
+        return _run_recovery_scoped(
+            scenario, resync_age, algorithm_factory, horizon,
+            sample_interval, ensure_interval, num_nodes, ranks_per_node,
+            network, time_source, seed, sink, metrics, bank,
+        )
+
+
+def _run_recovery_scoped(
+    scenario, resync_age, algorithm_factory, horizon, sample_interval,
+    ensure_interval, num_nodes, ranks_per_node, network, time_source,
+    seed, sink, metrics, bank,
+) -> RecoveryReport:
     machine = Machine(
         num_nodes=num_nodes,
         sockets_per_node=1,
@@ -159,6 +185,7 @@ def run_recovery(
         faults=scenario,
         sink=sink,
         metrics=metrics,
+        timeseries=bank,
     )
     #: rank → [(true time acquired, global clock)], newest last.
     records: dict[int, list[tuple[float, Clock]]] = {}
@@ -227,6 +254,14 @@ def run_recovery(
         err = max(readings) - min(readings)
         report.samples.append((t, err))
         errors[_phase_of(t, window)].append(err)
+        if bank is not None:
+            # Per-rank error against rank 0's global clock (rank 0 vs
+            # itself is identically 0, so it is skipped) plus the
+            # job-level spread — the series the health detectors scan.
+            ref = readings[0]
+            for rank, reading in zip(ranks[1:], readings[1:]):
+                bank.sample("clock.error", t, reading - ref, rank=rank)
+            bank.sample("clock.error.spread", t, err)
     report.phases = {
         name: PhaseStats.from_errors(vals) for name, vals in errors.items()
     }
@@ -244,10 +279,14 @@ def compare_recovery(
     The two policy runs are independent simulations; ``jobs>1`` executes
     them on separate worker processes (results are identical to serial —
     each run's randomness is fully determined by its own arguments).
-    Explicit ``sink``/``metrics`` keyword arguments force the serial
-    path: they are parent-process objects that workers cannot mutate.
+    Explicit ``sink``/``metrics``/``timeseries`` keyword arguments force
+    the serial path: they are parent-process objects that workers cannot
+    mutate.
     """
-    if kwargs.get("sink") is not None or kwargs.get("metrics") is not None:
+    if any(
+        kwargs.get(key) is not None
+        for key in ("sink", "metrics", "timeseries")
+    ):
         jobs = 1
     specs = [
         JobSpec(run_recovery, args=(scenario,),

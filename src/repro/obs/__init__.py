@@ -16,6 +16,11 @@ Entry points:
   synchronization algorithms (RTTs per fit point, fit residuals, slopes).
 * :mod:`repro.obs.chrome_trace` — Chrome trace-event JSON export
   (Perfetto/about:tracing), with optional logical-clock remapping.
+* :mod:`repro.obs.timeseries` — bounded, decimating per-rank telemetry
+  series (clock error, drift model, resync age, NIC backlog) + markers.
+* :mod:`repro.obs.health` — anomaly detectors over the telemetry bank
+  producing typed findings and a per-run verdict.
+* :mod:`repro.obs.report` — self-contained HTML + JSON run reports.
 """
 
 from repro.obs.events import (
@@ -48,6 +53,20 @@ from repro.obs.sync_stats import (
     SyncRoundRecord,
     SyncStatsCollector,
 )
+from repro.obs.timeseries import (
+    TimeSeries,
+    TimeSeriesBank,
+    default_timeseries,
+    get_default_timeseries,
+    set_default_timeseries,
+)
+from repro.obs.health import (
+    HealthFinding,
+    HealthThresholds,
+    HealthVerdict,
+    evaluate_health,
+)
+from repro.obs.report import build_report, render_html, write_report
 
 __all__ = [
     "CollectiveEnter",
@@ -57,6 +76,9 @@ __all__ = [
     "EventSink",
     "FitpointSample",
     "Gauge",
+    "HealthFinding",
+    "HealthThresholds",
+    "HealthVerdict",
     "Histogram",
     "MetricsRegistry",
     "MsgDeliver",
@@ -67,11 +89,20 @@ __all__ = [
     "RecordingSink",
     "SyncRoundRecord",
     "SyncStatsCollector",
+    "TimeSeries",
+    "TimeSeriesBank",
+    "build_report",
     "default_metrics",
     "default_sink",
+    "default_timeseries",
+    "evaluate_health",
     "format_summary",
     "get_default_metrics",
     "get_default_sink",
+    "get_default_timeseries",
+    "render_html",
     "set_default_metrics",
     "set_default_sink",
+    "set_default_timeseries",
+    "write_report",
 ]

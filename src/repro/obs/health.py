@@ -1,0 +1,384 @@
+"""Anomaly detectors over the clock-health telemetry bank.
+
+"MPI Benchmarking Revisited" (arXiv:1505.07734) argues measurement
+pipelines need built-in validity checks; this module is ours.  Four
+detectors scan the ``clock.error*`` series of a
+:class:`~repro.obs.timeseries.TimeSeriesBank` (per-rank estimated-vs-true
+global-clock error, sampled by the campaign/recovery harnesses):
+
+* **drift excursion** — the error slope between consecutive resync
+  markers exceeds a threshold: the linear clock model is degrading
+  faster than the paper's Section III-C2 validity window assumes.
+* **desync breach** — ``|error|`` stays above a tolerance for longer
+  than a grace window: the global clock is effectively unsynchronized.
+* **resync latency** — the time from a fault-injection marker until the
+  error re-enters tolerance; slow or absent recovery is flagged, and
+  healthy recoveries are reported as ``info`` findings so the run
+  report always shows the measured latency.
+* **stuck clock** — a series flat-lines at a constant non-zero value:
+  either the estimator froze or the sampling pipeline died.  (Constant
+  *zero* is exact agreement — shared time-source domains produce it
+  legitimately — and is not flagged.)
+
+Everything is pure ``math`` over retained points (no numpy), so verdicts
+are bit-deterministic and goldenable; ``to_dict`` rounds floats to 12
+decimals to absorb last-ulp libm differences across platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.timeseries import SCOPE_SEP, TimeSeriesBank, split_scope
+
+#: Severity order, worst last.
+SEVERITIES = ("info", "warning", "critical")
+
+#: Metric (unscoped) name prefix of the error series detectors scan.
+ERROR_METRIC = "clock.error"
+#: Marker metric names the detectors correlate against.
+RESYNC_MARKER = "resync"
+FAULT_MARKER = "fault"
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Tunable limits for the four detectors (seconds unless noted)."""
+
+    #: |d(error)/dt| between resyncs above this is a drift excursion.
+    drift_slope: float = 5e-6
+    #: Minimum segment span (s) before a slope estimate is trusted.
+    drift_window: float = 3.0
+    #: Minimum points per segment for a slope estimate.
+    drift_min_points: int = 4
+    #: |error| above this is out of tolerance.
+    desync_tolerance: float = 100e-6
+    #: Seconds out of tolerance before a breach finding fires.
+    desync_grace: float = 2.0
+    #: Allowed seconds from a fault trigger to error re-entering
+    #: tolerance before recovery counts as slow.
+    resync_latency: float = 10.0
+    #: Consecutive identical samples before a series counts as stuck.
+    stuck_min_points: int = 8
+    #: Minimum span (s) of the identical run.
+    stuck_span: float = 2.0
+
+
+@dataclass(frozen=True)
+class HealthFinding:
+    """One typed detector hit against one telemetry series."""
+
+    detector: str
+    severity: str
+    #: Full (scoped) series name the finding anchors to.
+    series: str
+    rank: int | None
+    #: Time span of the anomalous behaviour (true simulation seconds).
+    start: float
+    end: float
+    #: Measured magnitude (slope, |error|, latency, ... per detector).
+    value: float
+    threshold: float
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "severity": self.severity,
+            "series": self.series,
+            "rank": self.rank,
+            "start": _round(self.start),
+            "end": _round(self.end),
+            "value": _round(self.value),
+            "threshold": _round(self.threshold),
+            "message": self.message,
+        }
+
+
+@dataclass
+class HealthVerdict:
+    """Aggregated outcome of one full detector sweep over a bank."""
+
+    findings: list[HealthFinding] = field(default_factory=list)
+    #: detector name → {"findings": n, "worst": severity or "ok"}.
+    detectors: dict[str, dict] = field(default_factory=dict)
+    series_scanned: int = 0
+
+    @property
+    def status(self) -> str:
+        """Worst non-info severity across findings, or ``"ok"``."""
+        worst = -1
+        for finding in self.findings:
+            worst = max(worst, SEVERITIES.index(finding.severity))
+        return SEVERITIES[worst] if worst > 0 else "ok"
+
+    def by_severity(self, severity: str) -> list[HealthFinding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "series_scanned": self.series_scanned,
+            "detectors": self.detectors,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _round(x: float) -> float:
+    return round(float(x), 12)
+
+
+def _is_error_series(name: str) -> bool:
+    metric = split_scope(name)[1]
+    return metric == ERROR_METRIC or metric.startswith(ERROR_METRIC + ".")
+
+
+def _error_series(bank: TimeSeriesBank):
+    """All ``clock.error*`` series, in the bank's deterministic order."""
+    return [
+        series
+        for (name, _), series in bank.items()
+        if _is_error_series(name) and len(series) >= 2
+    ]
+
+
+def _marker_times(
+    bank: TimeSeriesBank, series_name: str, marker: str, rank: int | None
+) -> list[float]:
+    """Marker times in the series' scope, for its rank or rank-agnostic."""
+    scope = split_scope(series_name)[0]
+    full = f"{scope}{SCOPE_SEP}{marker}" if scope else marker
+    return sorted(
+        time
+        for mark_rank, time, _ in bank.marks_named(full)
+        if mark_rank is None or rank is None or mark_rank == rank
+    )
+
+
+def _slope(points: list[tuple[float, float]]) -> float:
+    """Closed-form least-squares slope (deterministic, no numpy)."""
+    n = len(points)
+    mean_t = sum(t for t, _ in points) / n
+    mean_v = sum(v for _, v in points) / n
+    num = sum((t - mean_t) * (v - mean_v) for t, v in points)
+    den = sum((t - mean_t) ** 2 for t, _ in points)
+    return num / den if den else 0.0
+
+
+# ----------------------------------------------------------------------
+# Detectors
+# ----------------------------------------------------------------------
+def detect_drift_excursions(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """Error slope above threshold between consecutive resync markers."""
+    th = th or HealthThresholds()
+    findings = []
+    for series in _error_series(bank):
+        boundaries = _marker_times(
+            bank, series.name, RESYNC_MARKER, series.rank
+        )
+        points = series.points
+        edges = (
+            [points[0][0]]
+            + [b for b in boundaries if points[0][0] < b < points[-1][0]]
+            + [points[-1][0]]
+        )
+        for lo, hi in zip(edges, edges[1:]):
+            segment = [p for p in points if lo <= p[0] <= hi]
+            if (
+                len(segment) < th.drift_min_points
+                or segment[-1][0] - segment[0][0] < th.drift_window
+            ):
+                continue
+            slope = _slope(segment)
+            if abs(slope) <= th.drift_slope:
+                continue
+            severity = (
+                "critical" if abs(slope) > 10 * th.drift_slope
+                else "warning"
+            )
+            findings.append(HealthFinding(
+                detector="drift_excursion",
+                severity=severity,
+                series=series.name,
+                rank=series.rank,
+                start=segment[0][0],
+                end=segment[-1][0],
+                value=slope,
+                threshold=th.drift_slope,
+                message=(
+                    f"error slope {slope:.3g} s/s exceeds "
+                    f"{th.drift_slope:.3g} between resyncs"
+                ),
+            ))
+    return findings
+
+
+def detect_desync_breaches(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """|error| above tolerance for longer than the grace window."""
+    th = th or HealthThresholds()
+    findings = []
+    for series in _error_series(bank):
+        run: list[tuple[float, float]] = []
+        for point in series.points + [(float("inf"), 0.0)]:
+            if abs(point[1]) > th.desync_tolerance:
+                run.append(point)
+                continue
+            if run:
+                span = run[-1][0] - run[0][0]
+                if span >= th.desync_grace:
+                    peak = max(abs(v) for _, v in run)
+                    findings.append(HealthFinding(
+                        detector="desync_breach",
+                        severity="critical",
+                        series=series.name,
+                        rank=series.rank,
+                        start=run[0][0],
+                        end=run[-1][0],
+                        value=peak,
+                        threshold=th.desync_tolerance,
+                        message=(
+                            f"|error| peaked at {peak:.3g}s, above "
+                            f"{th.desync_tolerance:.3g}s tolerance for "
+                            f"{span:.3g}s (grace {th.desync_grace:g}s)"
+                        ),
+                    ))
+                run = []
+    return findings
+
+
+def detect_resync_latency(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """Per fault trigger: time until the error re-enters tolerance.
+
+    Healthy recoveries produce ``info`` findings (the measured latency
+    belongs in the run report either way); slow recoveries are warnings
+    and runs that never re-enter tolerance are critical.
+    """
+    th = th or HealthThresholds()
+    findings = []
+    for series in _error_series(bank):
+        triggers = _marker_times(
+            bank, series.name, FAULT_MARKER, series.rank
+        )
+        points = series.points
+        for trigger in triggers:
+            post = [p for p in points if p[0] >= trigger]
+            breach = next(
+                (i for i, (_, v) in enumerate(post)
+                 if abs(v) > th.desync_tolerance),
+                None,
+            )
+            if breach is None:
+                continue  # this fault never pushed the error out
+            recovered = next(
+                (t for t, v in post[breach:]
+                 if abs(v) <= th.desync_tolerance),
+                None,
+            )
+            if recovered is None:
+                latency = post[-1][0] - trigger
+                severity, note = "critical", "never re-entered tolerance"
+            else:
+                latency = recovered - trigger
+                slow = latency > th.resync_latency
+                severity = "warning" if slow else "info"
+                note = (
+                    f"recovered {latency:.3g}s after the trigger"
+                    + (" (slow)" if slow else "")
+                )
+            findings.append(HealthFinding(
+                detector="resync_latency",
+                severity=severity,
+                series=series.name,
+                rank=series.rank,
+                start=trigger,
+                end=trigger + latency,
+                value=latency,
+                threshold=th.resync_latency,
+                message=f"fault at t={trigger:.3g}s: {note}",
+            ))
+    return findings
+
+
+def detect_stuck_clocks(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """A series flat-lining at a constant non-zero value."""
+    th = th or HealthThresholds()
+    findings = []
+    for series in _error_series(bank):
+        points = series.points
+        start = 0
+        for i in range(1, len(points) + 1):
+            if (
+                i < len(points)
+                and points[i][1] == points[start][1]
+                and points[i][1] != 0.0
+            ):
+                continue
+            run = points[start:i]
+            if (
+                len(run) >= th.stuck_min_points
+                and run[-1][0] - run[0][0] >= th.stuck_span
+                and run[0][1] != 0.0
+            ):
+                findings.append(HealthFinding(
+                    detector="stuck_clock",
+                    severity="warning",
+                    series=series.name,
+                    rank=series.rank,
+                    start=run[0][0],
+                    end=run[-1][0],
+                    value=run[0][1],
+                    threshold=float(th.stuck_min_points),
+                    message=(
+                        f"{len(run)} consecutive samples frozen at "
+                        f"{run[0][1]:.3g} over "
+                        f"{run[-1][0] - run[0][0]:.3g}s"
+                    ),
+                ))
+            start = i
+    return findings
+
+
+#: The full detector sweep, in report order.
+DETECTORS = (
+    ("drift_excursion", detect_drift_excursions),
+    ("desync_breach", detect_desync_breaches),
+    ("resync_latency", detect_resync_latency),
+    ("stuck_clock", detect_stuck_clocks),
+)
+
+
+def evaluate_health(
+    bank: TimeSeriesBank, thresholds: HealthThresholds | None = None
+) -> HealthVerdict:
+    """Run every detector over ``bank``; returns the per-run verdict.
+
+    The verdict always carries one entry per detector (even when it
+    found nothing), so ``report.json`` records that each check ran.
+    """
+    th = thresholds or HealthThresholds()
+    verdict = HealthVerdict(series_scanned=len(_error_series(bank)))
+    for name, detector in DETECTORS:
+        found = detector(bank, th)
+        worst = -1
+        for finding in found:
+            worst = max(worst, SEVERITIES.index(finding.severity))
+        verdict.detectors[name] = {
+            "findings": len(found),
+            "worst": SEVERITIES[worst] if worst > 0 else "ok",
+        }
+        verdict.findings.extend(found)
+    verdict.findings.sort(
+        key=lambda f: (
+            -SEVERITIES.index(f.severity), f.start, f.detector,
+            f.series, f.rank is not None, f.rank or 0,
+        )
+    )
+    return verdict

@@ -17,8 +17,15 @@ sinks, metrics are passive: updating them never perturbs the simulation.
 from __future__ import annotations
 
 import math
+import random
 from contextlib import contextmanager
 from typing import Iterable, Iterator
+
+#: Fixed seed for every histogram's reservoir sampler: downsampling must
+#: be a pure function of the observation sequence so repeated runs (and
+#: the serial vs parallel executor paths, which replay the same sequence)
+#: produce identical sample buffers.
+RESERVOIR_SEED = 0xC10C
 
 
 class Counter:
@@ -34,17 +41,25 @@ class Counter:
 
 
 class Gauge:
-    """Last-set value, tracking the extremes seen."""
+    """Last-set value, tracking the extremes and how often it was set.
 
-    __slots__ = ("value", "max_value", "min_value")
+    ``set_count`` distinguishes "created but never set" (value 0.0,
+    extremes at ±inf) from a legitimately-set 0.0 — the merge path
+    relies on it to avoid a pristine worker gauge clobbering the
+    parent's last-set value.
+    """
+
+    __slots__ = ("value", "max_value", "min_value", "set_count")
 
     def __init__(self) -> None:
         self.value = 0.0
         self.max_value = -math.inf
         self.min_value = math.inf
+        self.set_count = 0
 
     def set(self, value: float) -> None:
         self.value = value
+        self.set_count += 1
         if value > self.max_value:
             self.max_value = value
         if value < self.min_value:
@@ -54,12 +69,16 @@ class Gauge:
 class Histogram:
     """Streaming summary (count/sum/min/max) plus a bounded sample buffer.
 
-    The buffer keeps the first ``max_samples`` observations for quantile
-    estimates; the scalar summary stays exact regardless of volume.
+    Quantiles come from a deterministic **reservoir** (Vitter's
+    Algorithm R with a fixed-seed per-instance RNG): every offered
+    observation has equal retention probability, so post-merge quantiles
+    no longer favor early/first-worker samples, yet the buffer is still
+    a pure function of the observation sequence — repeated runs stay
+    bit-identical.  The scalar summary stays exact regardless of volume.
     """
 
     __slots__ = ("count", "total", "min_value", "max_value", "_samples",
-                 "max_samples")
+                 "max_samples", "_offered", "_rng")
 
     def __init__(self, max_samples: int = 4096) -> None:
         self.count = 0
@@ -68,6 +87,18 @@ class Histogram:
         self.max_value = -math.inf
         self.max_samples = max_samples
         self._samples: list[float] = []
+        self._offered = 0
+        self._rng = random.Random(RESERVOIR_SEED)
+
+    def _offer(self, value: float) -> None:
+        """Offer one value to the reservoir (Algorithm R)."""
+        self._offered += 1
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self._offered)
+        if slot < self.max_samples:
+            self._samples[slot] = value
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -76,29 +107,33 @@ class Histogram:
             self.min_value = value
         if value > self.max_value:
             self.max_value = value
-        if len(self._samples) < self.max_samples:
-            self._samples.append(value)
+        self._offer(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from the retained sample buffer."""
+        """Interpolated quantile estimate from the retained samples."""
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
-        idx = min(len(ordered) - 1, max(0, int(q * (len(ordered) - 1))))
-        return ordered[idx]
+        h = min(len(ordered) - 1.0, max(0.0, q * (len(ordered) - 1)))
+        lo = int(h)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = h - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
         self.total += other.total
         self.min_value = min(self.min_value, other.min_value)
         self.max_value = max(self.max_value, other.max_value)
-        room = self.max_samples - len(self._samples)
-        if room > 0:
-            self._samples.extend(other._samples[:room])
+        # Replay the other buffer through this reservoir: deterministic
+        # (fixed-seed RNG stream) and unbiased over the full sequence,
+        # instead of keeping only the head of other._samples.
+        for value in other._samples:
+            self._offer(value)
 
 
 class MetricsRegistry:
@@ -167,15 +202,19 @@ class MetricsRegistry:
         """Fold another registry into this one (label-wise).
 
         Counters and histograms accumulate; a gauge takes the other's
-        last-set value while keeping the combined extremes.  Used by the
-        parallel executor to merge per-worker registries into the parent
-        registry in job-submission order.
+        last-set value *only if the other gauge was actually set*
+        (``set_count > 0``) while keeping the combined extremes — a
+        worker gauge that was created but never set must not clobber
+        the parent's value.  Used by the parallel executor to merge
+        per-worker registries into the parent in job-submission order.
         """
         for key, c in other._counters.items():
             self.counter(*key).inc(c.value)
         for key, g in other._gauges.items():
             mine = self.gauge(*key)
-            mine.value = g.value
+            if g.set_count:
+                mine.value = g.value
+            mine.set_count += g.set_count
             mine.max_value = max(mine.max_value, g.max_value)
             mine.min_value = min(mine.min_value, g.min_value)
         for key, h in other._histograms.items():
@@ -196,6 +235,7 @@ class MetricsRegistry:
                                       key=lambda kv: str(kv[0])):
             out["gauges"][label(name, rank)] = {
                 "value": g.value, "max": g.max_value, "min": g.min_value,
+                "set_count": g.set_count,
             }
         for (name, rank), h in sorted(self._histograms.items(),
                                       key=lambda kv: str(kv[0])):

@@ -12,19 +12,27 @@ the results bit-identical to serial execution:
   (``ProcessPoolExecutor.map``), so downstream aggregation sees the same
   sequence the serial loop would have produced.
 * **Observability** — worker processes cannot emit into the parent's
-  process-wide sink/metrics defaults, so each worker runs its job under a
-  fresh sink + registry, ships them back with the result, and the parent
-  merges them in submission order (counts into counting sinks, replayed
-  events otherwise, ``MetricsRegistry.merge_from`` for metrics).
+  process-wide sink/metrics/timeseries defaults, so each worker runs its
+  job under fresh obs objects, ships them back with the result, and the
+  parent merges them in submission order (counts into counting sinks,
+  replayed events otherwise, ``merge_from`` for metrics registries and
+  time-series banks).  When any obs target is installed, the **serial
+  path routes through the same per-job-isolate + merge sequence**: some
+  aggregates (reservoir histograms, decimating time-series) are not
+  invariant under re-batching, so running both paths through identical
+  merge sequences is what makes ``--jobs 1`` and ``--jobs N`` outputs
+  byte-identical — the contract ``tests/obs/test_report.py`` pins.
 
-``jobs=1`` (the default) runs everything in-process with no pool, no
-pickling and no sink indirection — the exact serial code path.
+With no obs installed, ``jobs=1`` runs everything in-process with no
+isolation, no pickling and no sink indirection — the exact serial code
+path.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -39,6 +47,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     default_metrics,
     get_default_metrics,
+)
+from repro.obs.timeseries import (
+    TimeSeriesBank,
+    default_timeseries,
+    get_default_timeseries,
 )
 
 
@@ -72,42 +85,60 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _execute_job(spec: JobSpec, obs_mode: str | None):
-    """Worker-side wrapper: run one job under fresh obs defaults.
+def _execute_job(
+    spec: JobSpec,
+    sink_mode: str | None,
+    want_metrics: bool,
+    want_bank: bool,
+):
+    """Run one job under fresh obs defaults (both worker- and serial-side).
 
-    Returns ``(result, events_or_counts, registry)`` where the middle
-    element depends on ``obs_mode``: ``None`` (parent had no sink),
-    ``"count"`` (dict of event counts) or ``"record"`` (event list, for
-    parents with recording-style sinks).
+    Returns ``(result, payload, registry, bank)``; ``payload`` depends on
+    ``sink_mode``: ``None`` (no sink), ``"count"`` (dict of event counts)
+    or ``"record"`` (event list, for recording-style sinks).
     """
-    if obs_mode is None:
-        return spec.fn(*spec.args, **spec.kwargs), None, None
-    sink: EventSink = CountingSink() if obs_mode == "count" else RecordingSink()
-    registry = MetricsRegistry()
-    with default_sink(sink), default_metrics(registry):
+    sink: EventSink | None = None
+    registry = MetricsRegistry() if want_metrics else None
+    bank = TimeSeriesBank() if want_bank else None
+    with ExitStack() as stack:
+        if sink_mode is not None:
+            sink = (
+                CountingSink() if sink_mode == "count" else RecordingSink()
+            )
+            stack.enter_context(default_sink(sink))
+        if registry is not None:
+            stack.enter_context(default_metrics(registry))
+        if bank is not None:
+            stack.enter_context(default_timeseries(bank))
         result = spec.fn(*spec.args, **spec.kwargs)
-    payload = sink.counts if obs_mode == "count" else sink.events
-    return result, payload, registry
+    payload = None
+    if sink_mode is not None:
+        payload = sink.counts if sink_mode == "count" else sink.events
+    return result, payload, registry, bank
 
 
 def _merge_obs(
     parent_sink: EventSink | None,
     parent_metrics: MetricsRegistry | None,
-    obs_mode: str | None,
+    parent_bank: TimeSeriesBank | None,
+    sink_mode: str | None,
     payload,
     registry: MetricsRegistry | None,
+    bank: TimeSeriesBank | None,
 ) -> None:
     if parent_sink is not None and payload:
-        if obs_mode == "count":
-            # CountingSink: fold the per-worker counts directly.
+        if sink_mode == "count":
+            # CountingSink: fold the per-job counts directly.
             counts = parent_sink.counts
             for name, n in payload.items():
                 counts[name] = counts.get(name, 0) + n
-        elif obs_mode == "record":
+        elif sink_mode == "record":
             for event in payload:
                 parent_sink.emit(event)
     if parent_metrics is not None and registry is not None:
         parent_metrics.merge_from(registry)
+    if parent_bank is not None and bank is not None:
+        parent_bank.merge_from(bank)
 
 
 def run_jobs(
@@ -115,48 +146,68 @@ def run_jobs(
     jobs: int | None = 1,
     sink: EventSink | None = None,
     metrics: MetricsRegistry | None = None,
+    timeseries: TimeSeriesBank | None = None,
 ) -> list[Any]:
     """Run every job; returns their results in submission order.
 
     ``jobs=1`` executes in-process (the serial reference path);
     ``jobs>1`` fans out over a :class:`ProcessPoolExecutor`.  Both paths
     return bit-identical results for deterministic job functions because
-    all randomness is fixed by the job specs themselves.
+    all randomness is fixed by the job specs themselves — and identical
+    merged observability, because both paths run each job under fresh
+    obs objects and fold them in submission order.
 
-    ``sink``/``metrics`` default to the process-wide observability
-    defaults; the executor publishes ``parallel.jobs.completed`` and
-    ``parallel.workers`` through the registry either way.
+    ``sink``/``metrics``/``timeseries`` default to the process-wide
+    observability defaults; the executor publishes
+    ``parallel.jobs.completed`` and ``parallel.workers`` through the
+    registry either way.
     """
     specs = list(specs)
     sink = sink if sink is not None else get_default_sink()
     metrics = metrics if metrics is not None else get_default_metrics()
+    timeseries = (
+        timeseries if timeseries is not None else get_default_timeseries()
+    )
     njobs = min(resolve_jobs(jobs), len(specs)) if specs else 1
 
+    sink_mode = None
+    if sink is not None:
+        sink_mode = "count" if isinstance(sink, CountingSink) else "record"
+    want_metrics = metrics is not None
+    want_bank = timeseries is not None
+    observed = sink_mode is not None or want_metrics or want_bank
+
+    results = []
     if njobs <= 1:
-        results = []
         for spec in specs:
-            results.append(spec.fn(*spec.args, **spec.kwargs))
+            if observed:
+                result, payload, registry, bank = _execute_job(
+                    spec, sink_mode, want_metrics, want_bank
+                )
+                _merge_obs(
+                    sink, metrics, timeseries,
+                    sink_mode, payload, registry, bank,
+                )
+                results.append(result)
+            else:
+                results.append(spec.fn(*spec.args, **spec.kwargs))
             if metrics is not None:
                 metrics.counter("parallel.jobs.completed").inc()
         if metrics is not None:
             metrics.gauge("parallel.workers").set(1)
         return results
 
-    obs_mode = None
-    if sink is not None:
-        obs_mode = "count" if isinstance(sink, CountingSink) else "record"
-    elif metrics is not None:
-        # No sink, but metrics wanted: workers still need a registry.
-        obs_mode = "count"
-
+    n = len(specs)
     with ProcessPoolExecutor(max_workers=njobs) as pool:
-        outcomes = list(
-            pool.map(_execute_job, specs, [obs_mode] * len(specs))
-        )
-    results = []
-    for result, payload, registry in outcomes:
+        outcomes = list(pool.map(
+            _execute_job, specs,
+            [sink_mode] * n, [want_metrics] * n, [want_bank] * n,
+        ))
+    for result, payload, registry, bank in outcomes:
         results.append(result)
-        _merge_obs(sink, metrics, obs_mode, payload, registry)
+        _merge_obs(
+            sink, metrics, timeseries, sink_mode, payload, registry, bank
+        )
         if metrics is not None:
             metrics.counter("parallel.jobs.completed").inc()
     if metrics is not None:

@@ -2,7 +2,9 @@
 
 See :mod:`repro.perf.harness` for the workloads and the
 ``BENCH_engine.json`` record format; ``benchmarks/bench_engine_perf.py``
-is the command-line front end.
+is the command-line front end and :mod:`repro.perf.regress`
+(``python -m repro.perf.regress``) is the CI regression gate over the
+recorded entries.
 """
 
 from repro.perf.harness import (
@@ -13,10 +15,13 @@ from repro.perf.harness import (
     record_bench,
     speedup,
 )
+from repro.perf.regress import RegressionCheck, check_bench
 
 __all__ = [
     "BENCH_FILE",
+    "RegressionCheck",
     "campaign_benchmark",
+    "check_bench",
     "engine_benchmark",
     "load_bench",
     "record_bench",

@@ -1,0 +1,153 @@
+"""Performance-regression gate over ``BENCH_engine.json``.
+
+Compares the ``current`` entry against the committed ``baseline`` and
+fails when current throughput has *regressed past baseline* by more than
+the tolerance — the guard the ROADMAP's "fast as the hardware allows"
+goal needs now that the benchmark file exists.  Two checks:
+
+* ``engine.msgs_per_sec`` — lower than baseline by > tolerance fails;
+* ``campaign.wall_s`` — higher than baseline by > tolerance fails, using
+  the *fastest* recorded current configuration (serial or parallel),
+  mirroring :func:`repro.perf.harness.speedup`.
+
+CLI (for CI)::
+
+    python -m repro.perf.regress [--file BENCH_engine.json]
+                                 [--tolerance 0.15] [--soft-fail]
+
+Exit codes: 0 all checks pass, 1 regression detected, 2 benchmark file
+or entries missing.  ``--soft-fail`` downgrades every failure to a
+warning with exit 0 — for CI phases where baselines are still
+accumulating or the runner's horsepower is not comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Any
+
+from repro.perf.harness import BENCH_FILE, load_bench
+
+#: Default allowed relative regression (0.15 == 15%).
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class RegressionCheck:
+    """Outcome of one baseline-vs-current comparison."""
+
+    name: str
+    baseline: float
+    current: float
+    #: Relative regression, positive == worse (throughput drop fraction,
+    #: or wall-time increase fraction).
+    regression: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return self.regression <= self.tolerance
+
+    def describe(self) -> str:
+        direction = "drop" if self.name.endswith("msgs_per_sec") else "rise"
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (
+            f"{self.name}: baseline {self.baseline:g} -> current "
+            f"{self.current:g} ({self.regression:+.1%} {direction}, "
+            f"tolerance {self.tolerance:.0%}) {verdict}"
+        )
+
+
+def check_bench(
+    data: dict[str, Any], tolerance: float = DEFAULT_TOLERANCE
+) -> list[RegressionCheck]:
+    """All baseline-vs-current checks the file's entries support.
+
+    Raises :class:`KeyError` when the ``baseline`` or ``current`` entry
+    is missing entirely — the caller distinguishes "no data" (exit 2)
+    from "data says regression" (exit 1).
+    """
+    entries = data.get("entries", {})
+    base, cur = entries.get("baseline"), entries.get("current")
+    if not base or not cur:
+        missing = [
+            label for label, entry in (("baseline", base), ("current", cur))
+            if not entry
+        ]
+        raise KeyError(f"missing entries: {', '.join(missing)}")
+
+    checks: list[RegressionCheck] = []
+    b_rate = base.get("engine", {}).get("msgs_per_sec")
+    c_rate = cur.get("engine", {}).get("msgs_per_sec")
+    if b_rate and c_rate:
+        checks.append(RegressionCheck(
+            name="engine.msgs_per_sec",
+            baseline=b_rate,
+            current=c_rate,
+            regression=1.0 - c_rate / b_rate,
+            tolerance=tolerance,
+        ))
+
+    b_wall = base.get("campaign", {}).get("wall_s")
+    cur_walls = [
+        cur[key]["wall_s"]
+        for key in ("campaign", "campaign_parallel")
+        if cur.get(key, {}).get("wall_s")
+    ]
+    if b_wall and cur_walls:
+        c_wall = min(cur_walls)
+        checks.append(RegressionCheck(
+            name="campaign.wall_s",
+            baseline=b_wall,
+            current=c_wall,
+            regression=c_wall / b_wall - 1.0,
+            tolerance=tolerance,
+        ))
+    return checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.regress",
+        description="Fail when BENCH_engine.json shows a perf regression.",
+    )
+    parser.add_argument(
+        "--file", default=BENCH_FILE,
+        help=f"benchmark file to check (default: {BENCH_FILE})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed relative regression (default: 0.15 == 15%%)",
+    )
+    parser.add_argument(
+        "--soft-fail", action="store_true",
+        help="report failures but always exit 0 (baseline bootstrap mode)",
+    )
+    args = parser.parse_args(argv)
+
+    data = load_bench(args.file)
+    try:
+        checks = check_bench(data, tolerance=args.tolerance)
+    except KeyError as exc:
+        print(f"perf.regress: cannot compare — {exc.args[0]}")
+        return 0 if args.soft_fail else 2
+    if not checks:
+        print("perf.regress: entries present but no comparable metrics")
+        return 0 if args.soft_fail else 2
+
+    failed = [c for c in checks if not c.ok]
+    for check in checks:
+        print(f"perf.regress: {check.describe()}")
+    if failed:
+        print(
+            f"perf.regress: {len(failed)}/{len(checks)} checks regressed"
+            + (" (soft-fail: ignoring)" if args.soft_fail else "")
+        )
+        return 0 if args.soft_fail else 1
+    print(f"perf.regress: all {len(checks)} checks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from repro.errors import DeadlockError, MatchingError, SimulationError
 from repro.obs import events as obs_events
 from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesBank
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, RecvDescriptor
 from repro.simmpi.network import Level, NetworkModel
 from repro.simmpi.rngpool import DEFAULT_CHUNK, UniformPool
@@ -164,6 +165,7 @@ class Engine:
         extra_node_latency: Callable[[int, int], float] | None = None,
         sink: EventSink | None = None,
         metrics: MetricsRegistry | None = None,
+        timeseries: TimeSeriesBank | None = None,
         injector: "FaultInjector | None" = None,
         rng_pool_chunk: int = DEFAULT_CHUNK,
     ) -> None:
@@ -205,6 +207,9 @@ class Engine:
         #: pointer comparison (the zero-overhead fast path).
         self.sink = sink
         self.metrics = metrics
+        #: Optional clock-health telemetry bank (see
+        #: :mod:`repro.obs.timeseries`); same passivity contract.
+        self.timeseries = timeseries
         #: Optional fault injector (see :mod:`repro.faults`): perturbs
         #: delay draws, NIC gaps, and compute intervals at scheduled true
         #: times.  ``None`` keeps every hot path on its fault-free branch.
@@ -286,6 +291,15 @@ class Engine:
                     self.sink.emit(event)
             if self.metrics is not None and events:
                 self.metrics.counter("faults.scheduled").inc(len(events))
+            if self.timeseries is not None:
+                # Fault markers anchor the resync-latency detector; they
+                # are rank-agnostic (a fault hits a node/level, and the
+                # error series of every rank may react to it).
+                for event in events:
+                    self.timeseries.mark(
+                        "fault", event.time,
+                        f"{event.kind}:{event.name}@{event.target}",
+                    )
         for proc in self._procs:
             if proc.gen is None:
                 raise SimulationError(f"rank {proc.rank} has no body bound")
@@ -418,6 +432,7 @@ class Engine:
         network = self.network
         sink = self.sink
         metrics = self.metrics
+        bank = self.timeseries
         injector = self.injector
         pool = proc.pool
         level_cache = self._level_cache
@@ -501,6 +516,11 @@ class Engine:
             if metrics is not None:
                 metrics.histogram("engine.nic.backlog").observe(
                     max(0.0, backlog)
+                )
+            if bank is not None and backlog > 0.0:
+                bank.sample(
+                    "engine.nic.backlog", send_time, backlog,
+                    rank=proc.rank,
                 )
         msg = Message(
             source=proc.rank,

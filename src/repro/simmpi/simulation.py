@@ -37,6 +37,7 @@ from repro.faults.injector import FaultInjector, apply_clock_faults
 from repro.faults.schedule import FaultSchedule
 from repro.obs.events import EventSink, get_default_sink
 from repro.obs.metrics import MetricsRegistry, get_default_metrics
+from repro.obs.timeseries import TimeSeriesBank, get_default_timeseries
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import Engine
 from repro.simmpi.network import NetworkModel
@@ -63,6 +64,8 @@ class SimulationResult:
     sink: EventSink | None = None
     #: The metrics registry the job ran with, if any.
     metrics: MetricsRegistry | None = None
+    #: The clock-health telemetry bank the job ran with, if any.
+    timeseries: TimeSeriesBank | None = None
     #: The fault schedule the job ran under, if any.
     faults: FaultSchedule | None = None
 
@@ -89,6 +92,7 @@ class Simulation:
         fabric=None,
         sink: EventSink | None = None,
         metrics: MetricsRegistry | None = None,
+        timeseries: TimeSeriesBank | None = None,
         faults: FaultSchedule | None = None,
         rng_pool_chunk: int | None = None,
     ) -> None:
@@ -104,9 +108,10 @@ class Simulation:
         extra latency (see :mod:`repro.cluster.fabric`; e.g. a
         :class:`~repro.cluster.fabric.TorusFabric` for Titan's Gemini).
 
-        ``sink``/``metrics`` attach observability (see :mod:`repro.obs`);
-        when omitted, the process-wide defaults installed via
-        ``repro.obs.set_default_sink``/``set_default_metrics`` apply.
+        ``sink``/``metrics``/``timeseries`` attach observability (see
+        :mod:`repro.obs`); when omitted, the process-wide defaults
+        installed via ``repro.obs.set_default_sink`` /
+        ``set_default_metrics`` / ``set_default_timeseries`` apply.
         Observation is passive — results are bit-identical either way.
 
         ``faults`` injects a scheduled disturbance scenario (see
@@ -146,6 +151,11 @@ class Simulation:
         self.metrics = (
             metrics if metrics is not None else get_default_metrics()
         )
+        self.timeseries = (
+            timeseries
+            if timeseries is not None
+            else get_default_timeseries()
+        )
         self.faults = faults
         injector = (
             FaultInjector(faults, node_of=machine.node_of)
@@ -163,6 +173,7 @@ class Simulation:
             ),
             sink=self.sink,
             metrics=self.metrics,
+            timeseries=self.timeseries,
             injector=injector,
             **(
                 {"rng_pool_chunk": rng_pool_chunk}
@@ -240,5 +251,6 @@ class Simulation:
             engine_stats=self.engine.stats(),
             sink=self.sink,
             metrics=self.metrics,
+            timeseries=self.timeseries,
             faults=self.faults,
         )

@@ -104,6 +104,7 @@ def learn_clock_model(
     xfit = []
     yfit = []
     samples = []
+    t_round_start = comm.ctx.now
     for idx in range(nfitpoints):
         measurement = yield from offset_alg.measure_offset(
             comm, clock, p_ref, client
@@ -119,6 +120,20 @@ def learn_clock_model(
         if fitpoint_spacing > 0.0 and idx != nfitpoints - 1:
             yield from comm.ctx.elapse(fitpoint_spacing)
     lm = LinearDriftModel.fit(xfit, yfit)
+    bank = comm.ctx.engine.timeseries
+    if bank is not None:
+        # Drift-model trajectory + round duration for the health layer.
+        # Passive (no clock reads, no randomness) like the stats path.
+        now = comm.ctx.now
+        global_client = comm.global_rank(client)
+        bank.sample("sync.model.slope", now, lm.slope, rank=global_client)
+        bank.sample(
+            "sync.model.intercept", now, lm.intercept, rank=global_client
+        )
+        bank.sample(
+            "sync.round.duration", now, now - t_round_start,
+            rank=global_client,
+        )
     if stats is not None:
         residuals = tuple(
             y - lm.offset_at(x) for x, y in zip(xfit, yfit)

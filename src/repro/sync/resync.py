@@ -94,6 +94,16 @@ class PeriodicResyncClock:
                 ))
             if engine.metrics is not None:
                 engine.metrics.counter("resync.rounds", ctx.rank).inc()
+            if engine.timeseries is not None:
+                bank = engine.timeseries
+                if age >= 0.0:
+                    bank.sample("resync.age", ctx.now, age, rank=ctx.rank)
+                # Resync markers segment the drift-excursion detector's
+                # slope fits (see repro.obs.health).
+                bank.mark(
+                    "resync", ctx.now, f"round{self.resync_count}",
+                    rank=ctx.rank,
+                )
         return self._clock
 
     def label(self) -> str:

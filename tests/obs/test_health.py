@@ -1,0 +1,187 @@
+"""Anomaly detectors: unit behaviour + golden files on fault scenarios.
+
+Each detector has one golden-file test pinned against a synthetic fault
+scenario from :mod:`repro.faults.scenarios` (or a hand-built bank for
+the stuck-clock case).  The simulator is deterministic per seed and
+finding floats are rounded to 12 decimals, so the goldens are stable.
+
+Regenerate after an intentional detector/threshold change::
+
+    PYTHONPATH=src python tests/obs/test_health.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.faults.evaluate import run_recovery
+from repro.faults.scenarios import make_scenario
+from repro.obs.health import (
+    HealthThresholds,
+    detect_desync_breaches,
+    detect_drift_excursions,
+    detect_resync_latency,
+    detect_stuck_clocks,
+    evaluate_health,
+)
+from repro.obs.timeseries import TimeSeriesBank
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: Small-but-real recovery runs shared by the scenario-driven goldens.
+_RUN_KWARGS = dict(
+    horizon=40.0,
+    sample_interval=1.0,
+    ensure_interval=2.0,
+    num_nodes=2,
+    ranks_per_node=1,
+    seed=0,
+)
+
+
+def _bank_ntp_step(resync_age: float | None) -> TimeSeriesBank:
+    bank = TimeSeriesBank()
+    run_recovery(
+        make_scenario("ntp_step"),
+        resync_age=resync_age,
+        timeseries=bank,
+        **_RUN_KWARGS,
+    )
+    return bank
+
+
+def _bank_thermal() -> TimeSeriesBank:
+    # Amplified skew ramp so the accumulated error slope clears the
+    # drift threshold well within the 40 s horizon.
+    bank = TimeSeriesBank()
+    run_recovery(
+        make_scenario("thermal_cycle", skew_delta=4e-5),
+        resync_age=None,
+        timeseries=bank,
+        **_RUN_KWARGS,
+    )
+    return bank
+
+
+def _bank_stuck() -> TimeSeriesBank:
+    # A frozen estimator: constant non-zero error for 10 samples, then a
+    # healthy tail.  Rank 2 flat-lines at exactly 0.0 — legitimate exact
+    # agreement that must NOT fire.
+    bank = TimeSeriesBank()
+    for i in range(10):
+        bank.sample("clock.error", float(i), 42e-6, rank=1)
+        bank.sample("clock.error", float(i), 0.0, rank=2)
+    for i in range(10, 14):
+        bank.sample("clock.error", float(i), 1e-6 * i, rank=1)
+        bank.sample("clock.error", float(i), 0.0, rank=2)
+    return bank
+
+
+def _findings(case: str) -> list[dict]:
+    if case == "desync_breach":
+        found = detect_desync_breaches(_bank_ntp_step(None))
+    elif case == "resync_latency":
+        found = detect_resync_latency(_bank_ntp_step(8.0))
+    elif case == "drift_excursion":
+        found = detect_drift_excursions(_bank_thermal())
+    elif case == "stuck_clock":
+        found = detect_stuck_clocks(_bank_stuck())
+    else:  # pragma: no cover - test bookkeeping
+        raise ValueError(case)
+    return [f.to_dict() for f in found]
+
+
+CASES = ("desync_breach", "resync_latency", "drift_excursion", "stuck_clock")
+
+
+def _golden_path(case: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"health_{case}.json")
+
+
+def _assert_matches_golden(case: str) -> None:
+    path = _golden_path(case)
+    assert os.path.exists(path), (
+        f"missing golden {path}; regenerate with "
+        "`PYTHONPATH=src python tests/obs/test_health.py --regen`"
+    )
+    with open(path) as fh:
+        golden = json.load(fh)
+    assert _findings(case) == golden
+
+
+class TestGoldenFindings:
+    def test_desync_breach_golden(self):
+        _assert_matches_golden("desync_breach")
+
+    def test_resync_latency_golden(self):
+        _assert_matches_golden("resync_latency")
+
+    def test_drift_excursion_golden(self):
+        _assert_matches_golden("drift_excursion")
+
+    def test_stuck_clock_golden(self):
+        _assert_matches_golden("stuck_clock")
+
+
+class TestDetectorSemantics:
+    def test_ntp_step_baseline_breaches_but_resync_recovers(self):
+        baseline = detect_desync_breaches(_bank_ntp_step(None))
+        assert baseline, "a 500us step with no resync must breach"
+        assert all(f.severity == "critical" for f in baseline)
+
+        resynced = _bank_ntp_step(8.0)
+        latencies = detect_resync_latency(resynced)
+        assert latencies, "the fault marker must produce a latency finding"
+        assert any(f.severity in ("info", "warning") for f in latencies), (
+            "periodic resync must re-enter tolerance before the horizon"
+        )
+
+    def test_stuck_ignores_exact_zero_plateaus(self):
+        found = detect_stuck_clocks(_bank_stuck())
+        assert found
+        assert all(f.rank == 1 for f in found), (
+            "rank 2's constant-zero series is exact agreement, not a "
+            "stuck estimator"
+        )
+
+    def test_thresholds_are_tunable(self):
+        bank = _bank_stuck()
+        strict = HealthThresholds(stuck_min_points=3, stuck_span=0.5)
+        lax = HealthThresholds(stuck_min_points=100)
+        assert detect_stuck_clocks(bank, strict)
+        assert not detect_stuck_clocks(bank, lax)
+
+    def test_verdict_always_reports_all_detectors(self):
+        verdict = evaluate_health(TimeSeriesBank())
+        assert set(verdict.detectors) == set(CASES)
+        assert verdict.status == "ok"
+        assert verdict.series_scanned == 0
+
+    def test_verdict_status_is_worst_severity(self):
+        verdict = evaluate_health(_bank_ntp_step(None))
+        assert verdict.status == "critical"
+        assert verdict.detectors["desync_breach"]["worst"] == "critical"
+        # Sorted most-severe first.
+        sevs = [f.severity for f in verdict.findings]
+        order = {"critical": 0, "warning": 1, "info": 2}
+        assert sevs == sorted(sevs, key=order.__getitem__)
+
+
+def _regen() -> None:  # pragma: no cover - manual tool
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for case in CASES:
+        path = _golden_path(case)
+        with open(path, "w") as fh:
+            json.dump(_findings(case), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

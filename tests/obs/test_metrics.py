@@ -35,8 +35,9 @@ class TestPrimitives:
         assert h.mean == 50.5
         assert h.min_value == 1.0
         assert h.max_value == 100.0
-        assert h.quantile(0.5) == 50.0
+        assert h.quantile(0.5) == 50.5  # interpolated midpoint
         assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.0) == 1.0
 
     def test_histogram_sample_buffer_bounded(self):
         h = Histogram(max_samples=10)
@@ -54,6 +55,45 @@ class TestPrimitives:
         assert a.count == 2
         assert a.total == 4.0
         assert a.max_value == 3.0
+
+    def test_histogram_reservoir_is_unbiased_across_merge(self):
+        # Regression: merge used to keep only the head of the other
+        # buffer, so a full receiver ignored the other side entirely and
+        # quantiles favored first-worker samples.  With the reservoir,
+        # late samples must be represented after a merge.
+        a, b = Histogram(max_samples=50), Histogram(max_samples=50)
+        for v in range(100):
+            a.observe(float(v))  # 0..99
+        for v in range(100, 200):
+            b.observe(float(v))  # 100..199
+        a.merge(b)
+        assert a.count == 200
+        assert len(a._samples) == 50
+        assert any(v >= 100.0 for v in a._samples)
+        assert a.quantile(0.5) > 50.0
+
+    def test_histogram_reservoir_deterministic(self):
+        def build():
+            h = Histogram(max_samples=16)
+            for v in range(500):
+                h.observe(float(v % 37))
+            return h
+
+        assert build()._samples == build()._samples
+
+    def test_gauge_set_count_protects_merge(self):
+        # Regression: a worker gauge that was created but never set
+        # (value 0.0) used to clobber the parent's last-set value.
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("g").set(7.0)
+        worker.gauge("g")  # created, never set
+        parent.merge_from(worker)
+        assert parent.gauge("g").value == 7.0
+        assert parent.gauge("g").set_count == 1
+        worker.gauge("g").set(0.0)  # a *real* zero must win
+        parent.merge_from(worker)
+        assert parent.gauge("g").value == 0.0
+        assert parent.gauge("g").set_count == 2
 
 
 class TestRegistry:

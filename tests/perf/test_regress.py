@@ -1,0 +1,91 @@
+"""Perf-regression gate: exit codes and check math against bench files."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.harness import BENCH_FILE
+from repro.perf.regress import (
+    DEFAULT_TOLERANCE,
+    check_bench,
+    main,
+)
+
+
+def _bench_data() -> dict:
+    with open(BENCH_FILE) as fh:
+        return json.load(fh)
+
+
+def _write(tmp_path, data) -> str:
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCheckBench:
+    def test_committed_baseline_passes(self):
+        checks = check_bench(_bench_data(), tolerance=DEFAULT_TOLERANCE)
+        assert {c.name for c in checks} == {
+            "engine.msgs_per_sec", "campaign.wall_s"
+        }
+        assert all(c.ok for c in checks)
+
+    def test_throughput_drop_fails(self):
+        data = copy.deepcopy(_bench_data())
+        eng = data["entries"]["current"]["engine"]
+        eng["msgs_per_sec"] = (
+            data["entries"]["baseline"]["engine"]["msgs_per_sec"] * 0.80
+        )
+        checks = check_bench(data, tolerance=DEFAULT_TOLERANCE)
+        bad = [c for c in checks if not c.ok]
+        assert [c.name for c in bad] == ["engine.msgs_per_sec"]
+        assert bad[0].regression == pytest.approx(0.20)
+        assert "REGRESSION" in bad[0].describe()
+
+    def test_campaign_uses_fastest_configuration(self):
+        # campaign_parallel is slower than campaign in the committed file;
+        # the gate must compare the best current wall time, so slowing the
+        # parallel entry alone cannot fail the check.
+        data = copy.deepcopy(_bench_data())
+        data["entries"]["current"]["campaign_parallel"]["wall_s"] = 99.0
+        checks = {c.name: c for c in check_bench(data, DEFAULT_TOLERANCE)}
+        assert checks["campaign.wall_s"].ok
+
+    def test_missing_entries_raise(self):
+        with pytest.raises(KeyError):
+            check_bench({"entries": {}}, DEFAULT_TOLERANCE)
+
+
+class TestCli:
+    def test_committed_file_exits_zero(self, capsys):
+        assert main(["--file", BENCH_FILE]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_doctored_drop_exits_one(self, tmp_path, capsys):
+        data = copy.deepcopy(_bench_data())
+        data["entries"]["current"]["engine"]["msgs_per_sec"] *= 0.5
+        assert main(["--file", _write(tmp_path, data)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_soft_fail_masks_regression(self, tmp_path):
+        data = copy.deepcopy(_bench_data())
+        data["entries"]["current"]["engine"]["msgs_per_sec"] *= 0.5
+        assert main(["--file", _write(tmp_path, data), "--soft-fail"]) == 0
+
+    def test_missing_entries_exit_two(self, tmp_path, capsys):
+        assert main(["--file", _write(tmp_path, {"entries": {}})]) == 2
+        assert main(
+            ["--file", _write(tmp_path, {"entries": {}}), "--soft-fail"]
+        ) == 0
+
+    def test_tighter_tolerance_flags_small_drop(self, tmp_path):
+        data = copy.deepcopy(_bench_data())
+        base = data["entries"]["baseline"]["engine"]["msgs_per_sec"]
+        data["entries"]["current"]["engine"]["msgs_per_sec"] = base * 0.95
+        path = _write(tmp_path, data)
+        assert main(["--file", path]) == 0  # within default 15%
+        assert main(["--file", path, "--tolerance", "0.02"]) == 1

@@ -54,6 +54,14 @@ class TestExamples:
         assert (tmp_path / "inspect_raw_local_clock.json").exists()
         assert (tmp_path / "inspect_global_clock.json").exists()
 
+    def test_health_report(self, tmp_path):
+        result = run_example("health_report.py", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "health status:" in result.stdout
+        assert "desync_breach" in result.stdout
+        assert (tmp_path / "report.html").exists()
+        assert (tmp_path / "report.json").exists()
+
     @pytest.mark.slow
     def test_tune_allreduce(self):
         result = run_example("tune_allreduce.py")

@@ -1,0 +1,61 @@
+"""CLI: re-check a recorded event stream. ``python -m repro.check run.jsonl``.
+
+Replays one or more JSONL event dumps (see
+:func:`repro.check.replay.dump_events`) through the sanitizer and prints
+a text report per file.  Exits 1 if any file has violations, so the
+command slots directly into CI.  ``--strict`` aborts at the first
+violation instead; ``--json PATH`` additionally writes the merged
+report as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.check.replay import replay_file
+from repro.check.sanitizer import CheckReport
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description=(
+            "Replay recorded engine event streams through the "
+            "simulation sanitizer."
+        ),
+    )
+    parser.add_argument(
+        "events", nargs="+", metavar="EVENTS.jsonl",
+        help="event dump(s) written by repro.check.replay.dump_events",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="raise on the first violation instead of accumulating",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the merged report as JSON to PATH",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    merged = CheckReport(label="aggregate")
+    for path in args.events:
+        report = replay_file(
+            path, mode="strict" if args.strict else "report"
+        )
+        print(report.format_text())
+        merged.merge_from(report)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(merged.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if merged.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Process-wide sanitizer activation, shared with worker processes.
+
+Checking is switched on per process tree through two environment
+variables (set via :func:`set_check_mode` / the :func:`checking` context
+manager, or exported by the caller):
+
+* ``REPRO_CHECK`` — ``strict`` (first violation raises
+  :class:`~repro.errors.InvariantViolation`) or ``report`` (violations
+  accumulate).
+* ``REPRO_CHECK_DIR`` — in report mode, the directory run reports are
+  appended to (one JSON line per sanitized run, one file per process so
+  parallel campaign workers never contend on a file).
+
+Environment variables — unlike module globals — are inherited by the
+:class:`~concurrent.futures.ProcessPoolExecutor` workers the parallel
+campaign executor fans jobs out to, which is what makes
+``python -m repro.experiments fig3 --jobs 8 --check`` check every
+simulated mpirun, wherever it executes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.check.sanitizer import CheckReport
+
+MODE_ENV = "REPRO_CHECK"
+DIR_ENV = "REPRO_CHECK_DIR"
+
+_VALID_MODES = ("strict", "report")
+
+
+def active_check_mode() -> str | None:
+    """The process-wide sanitizer mode, or None when checking is off.
+
+    Unknown values are treated as off (a typo'd ``REPRO_CHECK`` must
+    not silently flip every simulation into strict mode).
+    """
+    mode = os.environ.get(MODE_ENV, "").strip().lower()
+    return mode if mode in _VALID_MODES else None
+
+
+def check_report_dir() -> str | None:
+    """The report-append directory, or None when not configured."""
+    return os.environ.get(DIR_ENV) or None
+
+
+def set_check_mode(
+    mode: str | None, report_dir: str | None = None
+) -> None:
+    """Install (or with ``None`` clear) the process-wide check mode."""
+    if mode is None:
+        os.environ.pop(MODE_ENV, None)
+        os.environ.pop(DIR_ENV, None)
+        return
+    if mode not in _VALID_MODES:
+        raise ValueError(f"check mode must be strict/report, got {mode!r}")
+    os.environ[MODE_ENV] = mode
+    if report_dir is not None:
+        os.makedirs(report_dir, exist_ok=True)
+        os.environ[DIR_ENV] = report_dir
+    else:
+        os.environ.pop(DIR_ENV, None)
+
+
+@contextmanager
+def checking(
+    mode: str = "strict", report_dir: str | None = None
+) -> Iterator[None]:
+    """Enable the sanitizer for the block (restores the previous state)."""
+    previous = (os.environ.get(MODE_ENV), os.environ.get(DIR_ENV))
+    set_check_mode(mode, report_dir)
+    try:
+        yield
+    finally:
+        for env, value in zip((MODE_ENV, DIR_ENV), previous):
+            if value is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = value
+
+
+def append_report(report: CheckReport, report_dir: str) -> str:
+    """Append one run's report to the per-process JSONL file."""
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, f"check-{os.getpid()}.jsonl")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(report.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def load_reports(report_dir: str) -> CheckReport:
+    """Aggregate every per-process report file under ``report_dir``."""
+    merged = CheckReport(label="aggregate")
+    if not os.path.isdir(report_dir):
+        return merged
+    for name in sorted(os.listdir(report_dir)):
+        if not (name.startswith("check-") and name.endswith(".jsonl")):
+            continue
+        with open(os.path.join(report_dir, name), encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    merged.merge_from(
+                        CheckReport.from_dict(json.loads(line))
+                    )
+    return merged
+
+
+def write_aggregate(report_dir: str) -> tuple[str, CheckReport]:
+    """Merge all run reports in ``report_dir`` into ``check_report.json``."""
+    merged = load_reports(report_dir)
+    path = os.path.join(report_dir, "check_report.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(merged.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path, merged

@@ -25,6 +25,19 @@ class DeadlockError(SimulationError):
     """All processes are blocked and no events remain."""
 
 
+class InvariantViolation(SimulationError):
+    """The simulation sanitizer caught a broken engine-level invariant.
+
+    Raised in strict mode by :mod:`repro.check`; carries the structured
+    :class:`~repro.check.sanitizer.Violation` as ``violation`` when one
+    is available.
+    """
+
+    def __init__(self, message: str, violation=None) -> None:
+        super().__init__(message)
+        self.violation = violation
+
+
 class CommunicatorError(SimulationError):
     """Invalid communicator operation (bad rank, mismatched collective...)."""
 

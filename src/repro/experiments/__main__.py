@@ -16,6 +16,15 @@ Observability options (see :mod:`repro.obs`):
   exports the traced AMG run as Chrome trace-event JSON, once through the
   raw local clocks and once through the H2HCA global clocks — open both
   in https://ui.perfetto.dev for the paper's skewed-vs-corrected diff.
+
+Correctness checking (see :mod:`repro.check` and DESIGN.md §11):
+
+* ``--check`` runs every simulated job under the strict sanitizer —
+  the first broken engine invariant aborts the run with a typed
+  :class:`~repro.errors.InvariantViolation`.
+* ``--check-report DIR`` runs in report mode instead: violations
+  accumulate per job, and an aggregated ``check_report.json`` is
+  written under DIR afterwards (exit status 1 if anything was flagged).
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import sys
 import time
 from contextlib import ExitStack
 
+from repro.check.config import checking, write_aggregate
 from repro.obs.events import CountingSink, default_sink
 from repro.obs.health import evaluate_health
 from repro.obs.metrics import MetricsRegistry, default_metrics, format_summary
@@ -133,6 +143,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="with the fig10 target: also export the traced AMG run as "
              "Chrome trace JSON (raw local clocks + H2HCA global clocks); "
              "with fault_recovery: export the faulted run with fault spans",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run every simulated job under the strict simulation "
+             "sanitizer (repro.check): abort on the first broken engine "
+             "invariant",
+    )
+    parser.add_argument(
+        "--check-report",
+        metavar="DIR",
+        help="like --check, but accumulate violations instead of "
+             "aborting and write an aggregated check_report.json under "
+             "DIR; exits 1 if any violation was recorded",
     )
     parser.add_argument(
         "--scenario",
@@ -245,6 +269,17 @@ def main(argv: list[str] | None = None) -> int:
     registry: MetricsRegistry | None = None
     bank: TimeSeriesBank | None = None
     with ExitStack() as stack:
+        if args.check and args.check_report:
+            print("--check and --check-report are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if args.check:
+            # Env-based so --jobs worker processes inherit the mode.
+            stack.enter_context(checking("strict"))
+        elif args.check_report:
+            stack.enter_context(
+                checking("report", report_dir=args.check_report)
+            )
         if args.obs_summary:
             sink = CountingSink()
             stack.enter_context(default_sink(sink))
@@ -262,6 +297,17 @@ def main(argv: list[str] | None = None) -> int:
         _write_health_report(
             args.health_report, targets, args, bank, registry
         )
+    if args.check_report:
+        path, merged = write_aggregate(args.check_report)
+        print("=== sanitizer report ===")
+        print(f"runs checked: {merged.runs}, "
+              f"events: {merged.events_checked}, "
+              f"violations: {len(merged.violations)}"
+              + (f" (+{merged.dropped} dropped)" if merged.dropped else ""))
+        print(f"check_report.json: {path}")
+        if not merged.ok:
+            print(merged.format_text())
+            return 1
     return 0
 
 

@@ -11,6 +11,7 @@ creation for hierarchical schemes), y = the measured maximum clock offset.
 
 from __future__ import annotations
 
+import json
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -18,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.accuracy import check_clock_accuracy, max_abs_offset
+from repro.check import active_check_mode, check_global_clock
 from repro.cluster.machines import MachineSpec
 from repro.obs.timeseries import get_default_timeseries
 from repro.parallel import JobSpec, job_seeds, run_jobs, seed_int
@@ -248,6 +250,17 @@ def _campaign_job(
         values = sim.run(main).values
         duration = max(v[0] for v in values)
         offsets_by_wait = values[0][1]
+        if active_check_mode() is not None:
+            # Sanitize the synchronized clocks too: every rank's global
+            # clock must stay finite, monotone, and slope-≈1 over the
+            # accuracy-check window (no fault schedule runs here, so
+            # monotonicity is a hard requirement).
+            span = max(wait_times) if wait_times else 1.0
+            for rank, value in enumerate(values):
+                check_global_clock(
+                    value[2], duration, duration + max(span, 1.0),
+                    rank=rank, label=scope,
+                )
         if bank is not None:
             _sample_campaign_telemetry(bank, values, duration, wait_times)
     return SyncRun(
@@ -258,6 +271,40 @@ def _campaign_job(
             for wait, per_client in offsets_by_wait.items()
         },
     )
+
+
+def campaign_summary(result: SyncCampaignResult) -> dict:
+    """Canonical, JSON-ready summary of a campaign result.
+
+    Contains every scatter point (label, duration, per-wait max offsets)
+    in submission order plus the campaign shape — exactly the data the
+    figures are drawn from.  Floats are kept at full precision: the
+    simulator is deterministic per seed, so the golden tests pin the
+    summary byte-for-byte (see ``tests/experiments/test_golden.py``).
+    """
+    return {
+        "machine": result.machine,
+        "nprocs": result.nprocs,
+        "wait_times": list(result.wait_times),
+        "runs": [
+            {
+                "label": run.label,
+                "duration": run.duration,
+                "max_offsets": {
+                    f"{wait:g}": offset
+                    for wait, offset in sorted(run.max_offsets.items())
+                },
+            }
+            for run in result.runs
+        ],
+    }
+
+
+def summary_json(result: SyncCampaignResult) -> str:
+    """``campaign_summary`` as deterministic JSON (sorted keys, LF EOL)."""
+    return json.dumps(
+        campaign_summary(result), indent=2, sort_keys=True
+    ) + "\n"
 
 
 #: Grid points of the post-sync clock-error trajectory per campaign job.

@@ -177,6 +177,14 @@ def _run_recovery_scoped(
         ranks_per_node=ranks_per_node,
         name="faultbox",
     )
+    # Fail fast on scenarios that cannot act on this job — validated
+    # here against the *evaluation* horizon (the Simulation re-validates
+    # against its much larger hard time limit).
+    scenario.validate(
+        num_ranks=machine.num_ranks,
+        num_nodes=num_nodes,
+        horizon=horizon,
+    )
     sim = Simulation(
         machine=machine,
         network=network or infiniband_qdr(),

@@ -86,6 +86,55 @@ class FaultSchedule:
     def straggler_faults(self) -> list[StragglerFault]:
         return [f for f in self.faults if isinstance(f, StragglerFault)]
 
+    # ------------------------------------------------------------------
+    # Validation against a concrete job
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        num_ranks: int | None = None,
+        num_nodes: int | None = None,
+        horizon: float | None = None,
+    ) -> "FaultSchedule":
+        """Reject faults that cannot act on the described job.
+
+        Checks every fault's target against the job shape (``rank`` must
+        be < ``num_ranks``, ``node`` < ``num_nodes``) and its start time
+        against the run ``horizon`` — a fault scheduled past the end of
+        the run silently never fires, which almost always means a
+        mis-scaled scenario.  Raises
+        :class:`~repro.errors.ConfigurationError` naming the first
+        offending fault; returns ``self`` so calls chain.  ``None``
+        bounds skip that check.
+        """
+        for f in self.faults:
+            rank = getattr(f, "rank", None)
+            if (
+                num_ranks is not None
+                and rank is not None
+                and not 0 <= rank < num_ranks
+            ):
+                raise ConfigurationError(
+                    f"fault {f.name!r} ({f.kind}) targets rank {rank}, "
+                    f"but the job has ranks 0..{num_ranks - 1}"
+                )
+            node = getattr(f, "node", None)
+            if (
+                num_nodes is not None
+                and node is not None
+                and not 0 <= node < num_nodes
+            ):
+                raise ConfigurationError(
+                    f"fault {f.name!r} ({f.kind}) targets node {node}, "
+                    f"but the job has nodes 0..{num_nodes - 1}"
+                )
+            if horizon is not None and f.start >= horizon:
+                raise ConfigurationError(
+                    f"fault {f.name!r} ({f.kind}) starts at t={f.start:g}s, "
+                    f"at or beyond the run horizon {horizon:g}s — it "
+                    f"would never fire"
+                )
+        return self
+
     @property
     def has_engine_faults(self) -> bool:
         """Whether any fault needs engine hooks (vs. clock-only wrapping)."""

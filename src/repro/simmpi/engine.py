@@ -226,6 +226,9 @@ class Engine:
         self.rendezvous_stalls = 0
         #: Deepest mailbox (unmatched-message queue) seen during the run.
         self.max_mailbox_depth = 0
+        #: Messages still sitting in mailboxes when the run completed
+        #: (sent but never received; finalized at the end of run()).
+        self.messages_unreceived = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -335,9 +338,15 @@ class Engine:
             states = {
                 p.rank: p.blocked for p in self._procs if p.rank in unfinished
             }
+            # An attached sanitizer (see repro.check) can name the
+            # blocked-wait cycle; without one the raw states must do.
+            diagnose = getattr(self.sink, "deadlock_diagnosis", None)
+            detail = f"\n{diagnose(self)}" if diagnose is not None else ""
             raise DeadlockError(
-                f"deadlock: ranks {unfinished} blocked with states {states}"
+                f"deadlock: ranks {unfinished} blocked with states "
+                f"{states}{detail}"
             )
+        self.messages_unreceived = sum(len(p.mailbox) for p in procs)
         return [p.result for p in self._procs]
 
     def _schedule(self, proc: _Proc, time: float) -> None:
@@ -459,6 +468,7 @@ class Engine:
             self.rendezvous_stalls += 1
             proc.block_time = send_time
         if metrics is not None:
+            metrics.counter("engine.messages.sent", proc.rank).inc()
             metrics.counter("engine.bytes.sent",
                             proc.rank).inc(cmd.size)
             if cmd.synchronous:
@@ -581,6 +591,8 @@ class Engine:
                 latency=proc.now - msg.send_time,
             ))
         if self.metrics is not None:
+            self.metrics.counter("engine.messages.delivered",
+                                 proc.rank).inc()
             self.metrics.counter("engine.bytes.delivered",
                                  proc.rank).inc(msg.size)
         sender = msg.sync_sender
@@ -629,6 +641,7 @@ class Engine:
             "num_ranks": len(self._procs),
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
+            "messages_unreceived": self.messages_unreceived,
             "bytes_sent": self.bytes_sent,
             "bytes_delivered": self.bytes_delivered,
             "rendezvous_stalls": self.rendezvous_stalls,

@@ -31,6 +31,12 @@ from typing import Any, Callable, Generator
 
 import numpy as np
 
+from repro.check.config import (
+    active_check_mode,
+    append_report,
+    check_report_dir,
+)
+from repro.check.sanitizer import CheckReport, SanitizerSink, TeeSink
 from repro.cluster.topology import Machine
 from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector, apply_clock_faults
@@ -68,6 +74,8 @@ class SimulationResult:
     timeseries: TimeSeriesBank | None = None
     #: The fault schedule the job ran under, if any.
     faults: FaultSchedule | None = None
+    #: Sanitizer report when the job ran with checking enabled.
+    check_report: CheckReport | None = None
 
     def true_offset(self, rank: int, ref_rank: int, true_time: float) -> float:
         """Ground-truth clock offset ``rank - ref_rank`` at a true time."""
@@ -95,6 +103,7 @@ class Simulation:
         timeseries: TimeSeriesBank | None = None,
         faults: FaultSchedule | None = None,
         rng_pool_chunk: int | None = None,
+        check: str | None = None,
     ) -> None:
         """Set up the job.
 
@@ -127,6 +136,15 @@ class Simulation:
         (default: :data:`repro.simmpi.rngpool.DEFAULT_CHUNK`).  It is a
         pure performance knob — results are identical for every chunk
         size, which ``tests/parallel`` pins.
+
+        ``check`` attaches the simulation sanitizer (see
+        :mod:`repro.check`): ``"strict"`` raises
+        :class:`~repro.errors.InvariantViolation` at the first broken
+        engine invariant, ``"report"`` accumulates them into
+        ``SimulationResult.check_report``.  When omitted, the
+        process-wide mode (``REPRO_CHECK`` / ``repro.check.checking``)
+        applies; checking is passive — results are bit-identical with
+        it on or off.
         """
         if clocks_per not in ("node", "socket", "core"):
             raise SimulationError(
@@ -157,11 +175,34 @@ class Simulation:
             else get_default_timeseries()
         )
         self.faults = faults
+        if faults is not None:
+            # Reject schedules that cannot act on this job: faults
+            # targeting ranks/nodes that do not exist, or starting past
+            # the hard simulation horizon.
+            faults.validate(
+                num_ranks=machine.num_ranks,
+                num_nodes=machine.num_nodes,
+                horizon=self.max_true_time,
+            )
         injector = (
             FaultInjector(faults, node_of=machine.node_of)
             if faults is not None and len(faults)
             else None
         )
+        self.checker: SanitizerSink | None = None
+        mode = check if check is not None else active_check_mode()
+        if mode:
+            self.checker = SanitizerSink(
+                mode=mode,
+                label=f"{machine.name}[{machine.num_ranks} ranks]",
+            )
+            engine_sink = (
+                TeeSink(self.checker, self.sink)
+                if self.sink is not None
+                else self.checker
+            )
+        else:
+            engine_sink = self.sink
         self.engine = Engine(
             network=network,
             level_of=machine.level_between,
@@ -171,7 +212,7 @@ class Simulation:
             extra_node_latency=(
                 fabric.extra_latency if fabric is not None else None
             ),
-            sink=self.sink,
+            sink=engine_sink,
             metrics=self.metrics,
             timeseries=self.timeseries,
             injector=injector,
@@ -243,6 +284,13 @@ class Simulation:
             gen = main(ctx, self.world(rank))
             self.engine.bind(rank, gen)
         values = self.engine.run()
+        report: CheckReport | None = None
+        if self.checker is not None:
+            report = self.checker.finalize(self.engine)
+            if self.checker.mode == "report":
+                out_dir = check_report_dir()
+                if out_dir is not None:
+                    append_report(report, out_dir)
         return SimulationResult(
             values=values,
             messages=self.engine.messages_delivered,
@@ -253,4 +301,5 @@ class Simulation:
             metrics=self.metrics,
             timeseries=self.timeseries,
             faults=self.faults,
+            check_report=report,
         )

@@ -1,0 +1,1 @@
+"""Tests for the simulation sanitizer (repro.check)."""

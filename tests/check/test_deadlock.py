@@ -1,0 +1,91 @@
+"""Deadlock diagnosis: the sanitizer names the blocked-wait cycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import checking
+from repro.check.sanitizer import _find_cycle
+from repro.errors import DeadlockError
+from tests.conftest import run_spmd
+
+
+class TestFindCycle:
+    def test_two_cycle(self):
+        assert _find_cycle({0: 1, 1: 0}) == [0, 1]
+
+    def test_three_cycle_with_tail(self):
+        cycle = _find_cycle({5: 0, 0: 1, 1: 2, 2: 0})
+        assert sorted(cycle) == [0, 1, 2]
+
+    def test_no_cycle(self):
+        assert _find_cycle({0: 1, 1: 2}) is None
+
+    def test_empty(self):
+        assert _find_cycle({}) is None
+
+
+class TestDeadlockDiagnosis:
+    def test_recv_cycle_named(self):
+        """Classic head-to-head recv deadlock: the cycle is spelled out."""
+
+        def body(ctx, comm):
+            peer = 1 - comm.rank if comm.rank < 2 else comm.rank
+            if comm.rank < 2:
+                yield from comm.recv(peer, tag=1)  # nobody ever sends
+            return None
+
+        with checking("strict"):
+            with pytest.raises(DeadlockError) as info:
+                run_spmd(body, num_nodes=2, ranks_per_node=1)
+        text = str(info.value)
+        assert "blocked-wait diagnosis" in text
+        assert "rank 0: recv(source=rank 1, tag=" in text
+        assert "wait cycle:" in text
+        assert "rank 0 -> rank 1 -> rank 0" in text or (
+            "rank 1 -> rank 0 -> rank 1" in text
+        )
+
+    def test_ssend_deadlock_named(self):
+        """Head-to-head rendezvous sends: both blocked in ssend."""
+
+        def body(ctx, comm):
+            peer = 1 - comm.rank
+            yield from comm.ssend(peer, tag=1, payload="x")
+            yield from comm.recv(peer, tag=1)
+            return None
+
+        with checking("strict"):
+            with pytest.raises(DeadlockError) as info:
+                run_spmd(body, num_nodes=2, ranks_per_node=1)
+        text = str(info.value)
+        assert "ssend(dest=rank" in text
+        assert "wait cycle:" in text
+
+    def test_no_checker_still_reports_states(self):
+        """Without a sanitizer the engine's raw deadlock error remains."""
+
+        def body(ctx, comm):
+            if comm.rank == 0:
+                yield from comm.recv(1, tag=1)
+            return None
+
+        with pytest.raises(DeadlockError) as info:
+            run_spmd(body, num_nodes=2, ranks_per_node=1)
+        assert "deadlock: ranks [0]" in str(info.value)
+        assert "blocked-wait diagnosis" not in str(info.value)
+
+    def test_unsatisfiable_wait_without_cycle(self):
+        """One rank waiting on an exited peer: diagnosed, no false cycle."""
+
+        def body(ctx, comm):
+            if comm.rank == 0:
+                yield from comm.recv(1, tag=1)
+            return None
+
+        with checking("strict"):
+            with pytest.raises(DeadlockError) as info:
+                run_spmd(body, num_nodes=2, ranks_per_node=1)
+        text = str(info.value)
+        assert "rank 0: recv(source=rank 1" in text
+        assert "no closed wait cycle" in text

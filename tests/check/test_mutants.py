@@ -1,0 +1,259 @@
+"""Engine-mutant suite: proof the sanitizer has teeth.
+
+Each test installs one deliberately broken engine behaviour (a *mutant*)
+on a live :class:`~repro.simmpi.engine.Engine` and asserts the strict
+sanitizer kills the run with the expected rule.  If a refactor ever
+neuters a check, the corresponding mutant survives and this suite fails
+— the property/conformance tests only show clean runs pass; these show
+dirty runs cannot.
+
+Mutants (rule each must trip):
+
+1. LIFO mailbox matching            → ``fifo-order``
+2. message silently dropped         → ``stats-consistency``
+3. message delivered twice          → ``conservation``
+4. event stamped with a past time   → ``monotonic-time``
+5. delivery counter not incremented → ``stats-consistency``
+6. double ProcBlock on rendezvous   → ``lifecycle``
+7. global clock with slope 2 / non-monotone → ``clock-sanity``
+"""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.check import InvariantViolation, assert_clock_sane, checking
+from repro.cluster.netmodels import ideal_network
+from repro.cluster.topology import Machine
+from repro.obs import events as ev
+from repro.simmpi.simulation import Simulation
+
+
+def make_sim(check="strict"):
+    machine = Machine(num_nodes=2, sockets_per_node=1, cores_per_socket=1,
+                      ranks_per_node=1, name="mutantbox")
+    return Simulation(machine=machine, network=ideal_network(), seed=3,
+                      check=check)
+
+
+def two_sends_then_recvs(ctx, comm):
+    """Rank 0 sends twice on one channel; rank 1 queues both, then recvs."""
+    if ctx.rank == 0:
+        yield from comm.send(1, tag=1, payload="first")
+        yield from comm.send(1, tag=1, payload="second")
+        return None
+    yield from ctx.elapse(0.1)  # both messages land in the mailbox
+    a = yield from comm.recv(0, tag=1)
+    b = yield from comm.recv(0, tag=1)
+    return (a.payload, b.payload)
+
+
+def fire_and_forget(ctx, comm):
+    """Rank 0 sends a message rank 1 never receives (legal in MPI)."""
+    if ctx.rank == 0:
+        yield from comm.send(1, tag=1, payload="lost")
+    else:
+        yield from ctx.elapse(0.1)
+    return None
+
+
+def one_message(ctx, comm):
+    if ctx.rank == 0:
+        yield from comm.send(1, tag=1, payload="x")
+        return None
+    msg = yield from comm.recv(0, tag=1)
+    return msg.payload
+
+
+def rendezvous(ctx, comm):
+    if ctx.rank == 0:
+        yield from comm.ssend(1, tag=1, payload="x")
+        return None
+    yield from ctx.elapse(0.01)
+    msg = yield from comm.recv(0, tag=1)
+    return msg.payload
+
+
+def run_mutated(sim, main):
+    for rank in range(sim.machine.num_ranks):
+        sim.engine.bind(rank, main(sim.contexts[rank], sim.world(rank)))
+    values = sim.engine.run()
+    sim.checker.finalize(sim.engine)
+    return values
+
+
+class TestEngineMutants:
+    def test_lifo_matching_caught(self):
+        """Mutant 1: mailbox matched newest-first (breaks non-overtaking)."""
+        sim = make_sim()
+
+        def lifo_match(self, proc, source, tag):
+            for i in range(len(proc.mailbox) - 1, -1, -1):
+                msg = proc.mailbox[i]
+                if msg.matches(source, tag):
+                    del proc.mailbox[i]
+                    return msg
+            return None
+
+        sim.engine._match_mailbox = types.MethodType(lifo_match, sim.engine)
+        with pytest.raises(InvariantViolation) as info:
+            run_mutated(sim, two_sends_then_recvs)
+        assert info.value.violation.rule == "fifo-order"
+
+    def test_dropped_message_caught(self):
+        """Mutant 2: a deposited message vanishes from the mailbox."""
+        sim = make_sim()
+        original = sim.engine._do_send
+
+        def dropping_send(self, proc, cmd):
+            original(proc, cmd)
+            dest = self._procs[cmd.dest]
+            if dest.mailbox:
+                dest.mailbox.pop()  # the message is never seen again
+
+        sim.engine._do_send = types.MethodType(dropping_send, sim.engine)
+        with pytest.raises(InvariantViolation) as info:
+            run_mutated(sim, fire_and_forget)
+        assert info.value.violation.rule == "stats-consistency"
+
+    def test_double_delivery_caught(self):
+        """Mutant 3: the same message completes delivery twice."""
+        sim = make_sim()
+        original = sim.engine._finish_delivery
+
+        def doubling_delivery(self, proc, msg):
+            out = original(proc, msg)
+            self.sink.emit(ev.MsgDeliver(
+                time=proc.now, rank=proc.rank, source=msg.source,
+                tag=msg.tag, size=msg.size, seq=msg.seq, latency=0.0,
+            ))
+            return out
+
+        sim.engine._finish_delivery = types.MethodType(
+            doubling_delivery, sim.engine
+        )
+        with pytest.raises(InvariantViolation) as info:
+            run_mutated(sim, one_message)
+        assert info.value.violation.rule == "conservation"
+
+    def test_backwards_timestamp_caught(self):
+        """Mutant 4: an event stamped before the rank's time line."""
+        sim = make_sim()
+        original = sim.engine._finish_delivery
+
+        def misstamping_delivery(self, proc, msg):
+            out = original(proc, msg)
+            self.sink.emit(ev.ProcWake(time=-1.0, rank=proc.rank))
+            return out
+
+        sim.engine._finish_delivery = types.MethodType(
+            misstamping_delivery, sim.engine
+        )
+        with pytest.raises(InvariantViolation) as info:
+            run_mutated(sim, one_message)
+        assert info.value.violation.rule == "monotonic-time"
+
+    def test_lost_delivery_counter_caught(self):
+        """Mutant 5: Engine.stats() undercounts deliveries by one."""
+        sim = make_sim()
+        original = sim.engine._finish_delivery
+
+        def uncounted_delivery(self, proc, msg):
+            out = original(proc, msg)
+            self.messages_delivered -= 1
+            return out
+
+        sim.engine._finish_delivery = types.MethodType(
+            uncounted_delivery, sim.engine
+        )
+        with pytest.raises(InvariantViolation) as info:
+            run_mutated(sim, one_message)
+        assert info.value.violation.rule == "stats-consistency"
+
+    def test_double_block_caught(self):
+        """Mutant 6: a rendezvous sender blocks twice without waking."""
+        sim = make_sim()
+        original = sim.engine._do_send
+
+        def double_blocking_send(self, proc, cmd):
+            if cmd.synchronous:
+                self.sink.emit(ev.ProcBlock(
+                    time=proc.now, rank=proc.rank, reason="recv",
+                    source=cmd.dest, tag=cmd.tag,
+                ))
+            original(proc, cmd)
+
+        sim.engine._do_send = types.MethodType(
+            double_blocking_send, sim.engine
+        )
+        with pytest.raises(InvariantViolation) as info:
+            run_mutated(sim, rendezvous)
+        assert info.value.violation.rule == "lifecycle"
+
+    def test_report_mode_flags_instead_of_raising(self):
+        """The same mutant in report mode: run completes, report dirty."""
+        sim = make_sim(check="report")
+
+        def lifo_match(self, proc, source, tag):
+            for i in range(len(proc.mailbox) - 1, -1, -1):
+                msg = proc.mailbox[i]
+                if msg.matches(source, tag):
+                    del proc.mailbox[i]
+                    return msg
+            return None
+
+        sim.engine._match_mailbox = types.MethodType(lifo_match, sim.engine)
+        values = run_mutated(sim, two_sends_then_recvs)
+        assert values[1] == ("second", "first")  # the mutant really fired
+        report = sim.checker.report
+        assert not report.ok
+        assert "fifo-order" in [v.rule for v in report.violations]
+
+    def test_unmutated_engine_is_clean(self):
+        """Control: every mutant program is sanitizer-clean unmutated."""
+        for body in (two_sends_then_recvs, fire_and_forget, one_message,
+                     rendezvous):
+            sim = make_sim()
+            run_mutated(sim, body)
+            assert sim.checker.report.ok
+
+
+class TestClockMutants:
+    class _SlopeTwoClock:
+        def read(self, t: float) -> float:
+            return 2.0 * t
+
+    class _BackwardsClock:
+        def read(self, t: float) -> float:
+            return 10.0 - t
+
+    def test_wrong_slope_caught(self):
+        with pytest.raises(InvariantViolation) as info:
+            assert_clock_sane(self._SlopeTwoClock(), 1.0, 2.0)
+        assert info.value.violation.rule == "clock-sanity"
+
+    def test_backwards_clock_caught(self):
+        with pytest.raises(InvariantViolation) as info:
+            assert_clock_sane(self._BackwardsClock(), 1.0, 2.0)
+        assert info.value.violation.rule == "clock-sanity"
+
+    def test_sane_clock_passes(self):
+        class Identity:
+            def read(self, t: float) -> float:
+                return t + 0.5
+
+        assert_clock_sane(Identity(), 1.0, 2.0)
+
+
+class TestCheckingContextIsolation:
+    def test_env_restored_after_block(self):
+        import os
+
+        from repro.check.config import MODE_ENV
+
+        before = os.environ.get(MODE_ENV)
+        with checking("strict"):
+            assert os.environ[MODE_ENV] == "strict"
+        assert os.environ.get(MODE_ENV) == before

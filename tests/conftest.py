@@ -2,7 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:  # Hypothesis profiles for tests/properties (absent → plain pytest).
+    from hypothesis import settings as _hyp_settings
+
+    # "dev" (default): random examples, no deadline (simulations vary in
+    # wall time).  "ci": additionally derandomized so property failures
+    # are reproducible across CI reruns; select with HYPOTHESIS_PROFILE.
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.register_profile(
+        "ci", deadline=None, derandomize=True, print_blob=True
+    )
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover
+    pass
 
 from repro.cluster.netmodels import ideal_network, infiniband_qdr
 from repro.cluster.topology import Machine

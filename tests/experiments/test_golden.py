@@ -1,0 +1,67 @@
+"""Seed-stability golden tests: fixed seed → byte-identical summaries.
+
+The simulator promises bit-identical results for a fixed seed, across
+process counts and (checked here) across code changes: the committed
+golden files pin the full-precision campaign summaries of the fig3/fig4
+quick targets.  A diff here means the random-stream layout or the
+simulation semantics changed — if that is intentional, regenerate with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments import fig3_flat_algorithms, fig4_hier_jupiter
+    from repro.experiments.common import summary_json
+    for mod, name in [(fig3_flat_algorithms, "fig3"),
+                      (fig4_hier_jupiter, "fig4")]:
+        path = f"tests/experiments/golden/{name}_quick_seed0.json"
+        open(path, "w").write(summary_json(mod.run(scale="quick", seed=0)))
+    EOF
+
+and call the semantics change out in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig3_flat_algorithms, fig4_hier_jupiter
+from repro.experiments.common import campaign_summary, summary_json
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TARGETS = {
+    "fig3": fig3_flat_algorithms,
+    "fig4": fig4_hier_jupiter,
+}
+
+
+@pytest.mark.parametrize("name", sorted(TARGETS))
+class TestGoldenSummaries:
+    def test_byte_identical_summary(self, name):
+        golden = (GOLDEN_DIR / f"{name}_quick_seed0.json").read_text()
+        result = TARGETS[name].run(scale="quick", seed=0)
+        assert summary_json(result) == golden
+
+    def test_parallel_jobs_match_golden(self, name):
+        """--jobs N must be bit-identical to --jobs 1 (and the golden)."""
+        golden = (GOLDEN_DIR / f"{name}_quick_seed0.json").read_text()
+        result = TARGETS[name].run(scale="quick", seed=0, jobs=2)
+        assert summary_json(result) == golden
+
+
+class TestSummaryShape:
+    def test_summary_is_canonical_json(self):
+        result = fig3_flat_algorithms.run(scale="quick", seed=0)
+        text = summary_json(result)
+        data = json.loads(text)
+        assert data == campaign_summary(result)
+        # Canonical form: sorted keys, trailing newline, stable re-dump.
+        assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"
+        assert len(data["runs"]) == len(result.runs)
+
+    def test_different_seed_differs(self):
+        """The golden test has teeth: another seed changes the bytes."""
+        golden = (GOLDEN_DIR / "fig3_quick_seed0.json").read_text()
+        other = fig3_flat_algorithms.run(scale="quick", seed=1)
+        assert summary_json(other) != golden

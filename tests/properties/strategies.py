@@ -1,0 +1,201 @@
+"""Reusable Hypothesis strategies for the simulator's input space.
+
+Shared by the property suite (``tests/properties``): machine topologies,
+hardware-clock drift/perturbation models, fault schedules, and random
+collective programs.  Every strategy produces *valid* inputs — the
+invariant under test is the simulator's behaviour, not its argument
+validation (which has its own unit tests).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.faults.model import (
+    ClockFrequencyFault,
+    ClockStepFault,
+    LinkFault,
+    NicStormFault,
+    StragglerFault,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.simtime.sources import CLOCK_GETTIME
+
+#: (num_nodes, ranks_per_node) pairs small enough for property runs.
+machine_shapes = st.tuples(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=4),
+)
+
+#: Shapes with at least two nodes (hierarchical algorithms need a real
+#: inter-node level to be interesting).
+multi_node_shapes = st.tuples(
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=1, max_value=4),
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def time_sources(draw):
+    """Drift/perturbation models around the CLOCK_GETTIME defaults.
+
+    Spans stable (Jupiter-like) through fast-drifting (Titan-like)
+    clocks, with and without read granularity — the knobs the paper's
+    machines differ in.
+    """
+    return CLOCK_GETTIME.with_(
+        offset_scale=draw(st.sampled_from([0.0, 1.0, 60_000.0])),
+        skew_scale=draw(st.sampled_from([0.0, 1e-6, 5e-5])),
+        skew_walk_sigma=draw(st.sampled_from([0.0, 4e-8, 5e-7])),
+        granularity=draw(st.sampled_from([0.0, 1e-9, 1e-7])),
+    )
+
+
+@st.composite
+def faults(draw, num_nodes: int, num_ranks: int, horizon: float):
+    """One valid fault of any kind, targeted inside the job's shape."""
+    start = draw(
+        st.floats(
+            min_value=horizon * 0.1,
+            max_value=horizon * 0.9,
+            allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    length = draw(
+        st.floats(min_value=horizon * 0.05, max_value=horizon * 0.5)
+    )
+    node = draw(
+        st.one_of(
+            st.none(), st.integers(min_value=0, max_value=num_nodes - 1)
+        )
+    )
+    kind = draw(
+        st.sampled_from(
+            ["clock_step", "clock_freq", "link", "nic_storm", "straggler"]
+        )
+    )
+    if kind == "clock_step":
+        return ClockStepFault(
+            start=start,
+            step=draw(st.sampled_from([-1e-3, -5e-6, 5e-6, 1e-3])),
+            node=node,
+        )
+    if kind == "clock_freq":
+        return ClockFrequencyFault(
+            start=start,
+            length=length,
+            skew_delta=draw(st.sampled_from([1e-7, 8e-6])),
+            node=node,
+            shape=draw(st.sampled_from(["triangle", "flat"])),
+        )
+    if kind == "link":
+        return LinkFault(
+            start=start,
+            length=length,
+            latency_factor=draw(st.sampled_from([2.0, 10.0])),
+            jitter=draw(st.sampled_from([0.0, 1e-6])),
+        )
+    if kind == "nic_storm":
+        return NicStormFault(
+            start=start,
+            length=length,
+            node=node,
+            gap_factor=draw(st.sampled_from([2.0, 8.0])),
+        )
+    return StragglerFault(
+        start=start,
+        length=length,
+        rank=draw(
+            st.one_of(
+                st.none(),
+                st.integers(min_value=0, max_value=num_ranks - 1),
+            )
+        ),
+        slowdown=draw(st.sampled_from([1.5, 4.0])),
+        noise=draw(st.sampled_from([0.0, 1e-4])),
+    )
+
+
+@st.composite
+def fault_schedules(
+    draw,
+    num_nodes: int,
+    num_ranks: int,
+    horizon: float,
+    max_faults: int = 3,
+):
+    """A valid schedule of 1..max_faults faults inside the job shape."""
+    n = draw(st.integers(min_value=1, max_value=max_faults))
+    fs = [
+        draw(faults(num_nodes, num_ranks, horizon)) for _ in range(n)
+    ]
+    return FaultSchedule(name="property", faults=fs)
+
+
+#: One step of a random collective program: (op, payload salt).
+_collective_ops = st.tuples(
+    st.sampled_from(
+        ["barrier", "allreduce", "allgather", "bcast", "reduce"]
+    ),
+    st.integers(min_value=-100, max_value=100),
+)
+
+#: A short random program of collectives every rank executes in order.
+collective_programs = st.lists(_collective_ops, min_size=1, max_size=4)
+
+
+def run_collective_program(program):
+    """SPMD body executing ``program``; returns the per-op results.
+
+    Deterministic payloads derived from (rank, salt) so callers can
+    recompute the expected value of every op.
+    """
+
+    def main(ctx, comm):
+        out = []
+        for op, salt in program:
+            if op == "barrier":
+                yield from comm.barrier()
+                out.append("barrier")
+            elif op == "allreduce":
+                out.append(
+                    (yield from comm.allreduce(comm.rank * 7 + salt))
+                )
+            elif op == "allgather":
+                out.append(
+                    (yield from comm.allgather(comm.rank * 3 + salt))
+                )
+            elif op == "bcast":
+                value = salt * 11 if comm.rank == 0 else None
+                out.append((yield from comm.bcast(value, root=0)))
+            else:  # reduce
+                out.append(
+                    (yield from comm.reduce(comm.rank + salt, root=0))
+                )
+        return out
+
+    return main
+
+
+def expected_collective_results(program, num_ranks: int, rank: int):
+    """Ground-truth result list for ``run_collective_program``."""
+    out = []
+    for op, salt in program:
+        if op == "barrier":
+            out.append("barrier")
+        elif op == "allreduce":
+            out.append(sum(r * 7 + salt for r in range(num_ranks)))
+        elif op == "allgather":
+            out.append([r * 3 + salt for r in range(num_ranks)])
+        elif op == "bcast":
+            out.append(salt * 11)
+        else:  # reduce: defined on the root only
+            out.append(
+                sum(r + salt for r in range(num_ranks))
+                if rank == 0
+                else None
+            )
+    return out

@@ -278,6 +278,7 @@ class TestStats:
             "num_ranks": 2,
             "messages_sent": 2,
             "messages_delivered": 2,
+            "messages_unreceived": 0,
             "bytes_sent": 128,
             "bytes_delivered": 128,
             "rendezvous_stalls": 0,
@@ -286,6 +287,61 @@ class TestStats:
         }
         assert stats["max_mailbox_depth"] >= 0
         assert stats["gate_deferrals"] >= 0
+
+    def test_unreceived_messages_counted(self):
+        """Fire-and-forget sends end up in messages_unreceived."""
+        engine = make_engine()
+
+        def sender():
+            yield SendCmd(dest=1, tag=1, payload="a", size=8)
+            yield SendCmd(dest=1, tag=1, payload="b", size=8)
+
+        def receiver():
+            yield RecvCmd(source=0, tag=1)
+
+        engine.bind(0, sender())
+        engine.bind(1, receiver())
+        engine.run()
+        stats = engine.stats()
+        assert stats["messages_sent"] == 2
+        assert stats["messages_delivered"] == 1
+        assert stats["messages_unreceived"] == 1
+        assert (
+            stats["messages_sent"]
+            == stats["messages_delivered"] + stats["messages_unreceived"]
+        )
+
+    def test_metrics_counters_match_stats(self):
+        """The documented engine.messages.* counters track the stats.
+
+        Regression for the count drift where the metrics docstring
+        promised engine.messages.sent/delivered but the engine never
+        emitted them.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = make_engine(metrics=registry)
+
+        def sender():
+            yield SendCmd(dest=1, tag=1, payload="a", size=100)
+            yield SendCmd(dest=1, tag=1, payload="b", size=28)
+
+        def receiver():
+            yield RecvCmd(source=0, tag=1)
+            yield RecvCmd(source=0, tag=1)
+
+        engine.bind(0, sender())
+        engine.bind(1, receiver())
+        engine.run()
+        stats = engine.stats()
+        assert registry.merged_counter("engine.messages.sent") == (
+            stats["messages_sent"]
+        ) == 2
+        assert registry.merged_counter("engine.messages.delivered") == (
+            stats["messages_delivered"]
+        ) == 2
+        assert registry.merged_counter("engine.bytes.sent") == 128
 
     def test_rendezvous_stall_counted(self):
         engine = make_engine()

@@ -11,11 +11,14 @@ Usage (from the repo root, with ``src`` on ``PYTHONPATH``)::
     PYTHONPATH=/path/to/old/src python benchmarks/bench_engine_perf.py \
         --record baseline --quick --output BENCH_engine.json
 
-    # Show baseline-vs-current speedups (exits 1 if < --min-speedup):
+    # Show earliest-vs-latest speedups (exits 1 if < --min-speedup):
     python benchmarks/bench_engine_perf.py --compare
 
-Results accumulate in ``BENCH_engine.json`` (one entry per label), so
-the baseline survives ``current`` re-records.
+Results accumulate in ``BENCH_engine.json`` as an **append-only
+trajectory** (format 2, oldest first): every ``--record`` appends a new
+entry, so the history — including the original pre-optimization
+baseline — survives re-records.  ``python -m repro.perf.regress`` gates
+the latest entry against the best prior one.
 """
 
 from __future__ import annotations
@@ -106,42 +109,69 @@ except ImportError:
             "nruns": len(result.runs),
         }
 
+    def _upgrade(data):
+        # Format 1 kept entries as a {label: entry} dict; the trajectory
+        # (format 2) keeps an append-only oldest-first list.
+        entries = data.get("entries")
+        if isinstance(entries, list):
+            data.setdefault("format", 2)
+            return data
+        upgraded = []
+        for label, entry in (entries or {}).items():
+            entry = dict(entry)
+            entry["label"] = label
+            upgraded.append(entry)
+        upgraded.sort(key=lambda e: (
+            e.get("recorded_at", ""), e.get("label") != "baseline"
+        ))
+        return {
+            "benchmark": data.get("benchmark", "engine_perf"),
+            "format": 2,
+            "entries": upgraded,
+        }
+
     def load_bench(path):
         if not os.path.exists(path):
-            return {"benchmark": "engine_perf", "entries": {}}
+            return {"benchmark": "engine_perf", "format": 2, "entries": []}
         with open(path) as fh:
-            return json.load(fh)
+            return _upgrade(json.load(fh))
 
     def record_bench(label, entry, path):
         data = load_bench(path)
         entry = dict(entry)
+        entry["label"] = label
         entry.setdefault(
             "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S")
         )
         entry.setdefault("python", platform.python_version())
         entry.setdefault("cpus", os.cpu_count())
-        data["entries"][label] = entry
+        data["entries"].append(entry)
         with open(path, "w") as fh:
             json.dump(data, fh, indent=2, sort_keys=True)
             fh.write("\n")
         return data
 
     def speedup(data, metric="engine"):
-        entries = data.get("entries", {})
-        base, cur = entries.get("baseline"), entries.get("current")
-        if not base or not cur:
-            return None
+        entries = _upgrade(data).get("entries", [])
         if metric == "engine":
-            b = base.get("engine", {}).get("msgs_per_sec")
-            c = cur.get("engine", {}).get("msgs_per_sec")
-            return c / b if b and c else None
-        b = base.get("campaign", {}).get("wall_s")
+            rates = [
+                e["engine"]["msgs_per_sec"] for e in entries
+                if e.get("engine", {}).get("msgs_per_sec")
+            ]
+            return rates[-1] / rates[0] if len(rates) >= 2 else None
         walls = [
-            cur[key]["wall_s"]
-            for key in ("campaign", "campaign_parallel")
-            if cur.get(key, {}).get("wall_s")
+            min(
+                e[key]["wall_s"]
+                for key in ("campaign", "campaign_parallel")
+                if e.get(key, {}).get("wall_s")
+            )
+            for e in entries
+            if any(
+                e.get(key, {}).get("wall_s")
+                for key in ("campaign", "campaign_parallel")
+            )
         ]
-        return b / min(walls) if b and walls else None
+        return walls[0] / walls[-1] if len(walls) >= 2 else None
 
 
 def default_output() -> str:
@@ -155,7 +185,11 @@ def run_record(args) -> int:
     engine_rounds = 400 if args.quick else 2000
     print(f"[{args.record}] engine micro ({engine_rounds} rounds) ...",
           flush=True)
-    engine = engine_benchmark(nrounds=engine_rounds, seed=args.seed)
+    kwargs = {}
+    if HAVE_PERF_PKG and args.zones:
+        kwargs["zones"] = True
+    engine = engine_benchmark(nrounds=engine_rounds, seed=args.seed,
+                              **kwargs)
     print(f"  {engine['messages']} messages in {engine['wall_s']:.3f}s "
           f"-> {engine['msgs_per_sec']:,.0f} msgs/s")
     scale = "quick" if args.quick else "default"
@@ -184,12 +218,12 @@ def run_compare(args) -> int:
     eng = speedup(data, "engine")
     camp = speedup(data, "campaign")
     if eng is None:
-        print("compare: need both 'baseline' and 'current' entries "
+        print("compare: need >= 2 trajectory entries with engine data "
               f"in {args.output}", file=sys.stderr)
         return 1
-    print(f"engine event-loop: {eng:.2f}x msgs/sec vs baseline")
+    print(f"engine event-loop: {eng:.2f}x msgs/sec vs earliest entry")
     if camp is not None:
-        print(f"campaign wall: {camp:.2f}x vs serial baseline")
+        print(f"campaign wall: {camp:.2f}x vs earliest entry")
     if eng < args.min_speedup:
         print(f"FAIL: engine speedup {eng:.2f}x < required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
@@ -206,6 +240,10 @@ def main(argv=None) -> int:
                         help="print current-vs-baseline speedups")
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized workloads (quick scale)")
+    parser.add_argument("--zones", action="store_true",
+                        help="attach a per-zone wall-time breakdown to "
+                             "the engine entry (separate profiled run; "
+                             "current tree only)")
     parser.add_argument("--jobs", type=int, default=4,
                         help="also time the campaign with this many "
                              "worker processes (current tree only)")

@@ -12,6 +12,9 @@ Observability options (see :mod:`repro.obs`):
 * ``--health-report DIR`` installs a clock-health telemetry bank, runs
   the anomaly detectors over the sampled series afterwards, and writes a
   self-contained ``report.html`` + machine-readable ``report.json``.
+* ``--profile DIR`` self-profiles the simulator (see :mod:`repro.prof`)
+  and writes ``profile.json`` + a speedscope flamegraph under DIR; the
+  profiled simulation's outputs are bit-identical to an unprofiled run.
 * ``--chrome-trace-dir DIR`` (with the ``fig10`` target) additionally
   exports the traced AMG run as Chrome trace-event JSON, once through the
   raw local clocks and once through the H2HCA global clocks — open both
@@ -40,6 +43,13 @@ from repro.obs.health import evaluate_health
 from repro.obs.metrics import MetricsRegistry, default_metrics, format_summary
 from repro.obs.report import build_report, write_report
 from repro.obs.timeseries import TimeSeriesBank, default_timeseries
+from repro.prof import (
+    Profiler,
+    default_profiler,
+    format_table,
+    top_zones,
+    write_profile,
+)
 from repro.experiments import (
     fault_recovery,
     fig2_drift,
@@ -145,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
              "with fault_recovery: export the faulted run with fault spans",
     )
     parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        help="self-profile the simulator (repro.prof wall-time zones) and "
+             "write profile.json + profile.speedscope.json under DIR; "
+             "per-job profiles are merged under --jobs N.  Profiling only "
+             "reads the host clock, so simulated results stay identical.",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="run every simulated job under the strict simulation "
@@ -167,7 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_obs_summary(sink: CountingSink, registry: MetricsRegistry) -> None:
+def _print_obs_summary(
+    sink: CountingSink,
+    registry: MetricsRegistry,
+    profiler: Profiler | None = None,
+) -> None:
     print("=== observability summary ===")
     total = sum(sink.counts.values())
     print(f"engine events: {total}")
@@ -178,6 +200,13 @@ def _print_obs_summary(sink: CountingSink, registry: MetricsRegistry) -> None:
         print("metrics:")
         for line in metrics_text.splitlines():
             print(f"  {line}")
+    if profiler is not None and profiler.total_ns() > 0:
+        print("slowest zones (self time):")
+        for row in top_zones(profiler, top=5):
+            print(
+                f"  {row['path']}: {row['self_ns'] / 1e6:.2f}ms self "
+                f"({row['count']}x)"
+            )
 
 
 def _write_health_report(
@@ -268,6 +297,7 @@ def main(argv: list[str] | None = None) -> int:
     sink: CountingSink | None = None
     registry: MetricsRegistry | None = None
     bank: TimeSeriesBank | None = None
+    profiler: Profiler | None = None
     with ExitStack() as stack:
         if args.check and args.check_report:
             print("--check and --check-report are mutually exclusive",
@@ -290,9 +320,27 @@ def main(argv: list[str] | None = None) -> int:
         if args.health_report:
             bank = TimeSeriesBank()
             stack.enter_context(default_timeseries(bank))
+        if args.profile:
+            profiler = Profiler()
+            stack.enter_context(default_profiler(profiler))
         run_targets()
     if args.obs_summary:
-        _print_obs_summary(sink, registry)
+        _print_obs_summary(sink, registry, profiler)
+    if args.profile:
+        json_path, speedscope_path = write_profile(
+            profiler, args.profile,
+            meta={
+                "targets": targets,
+                "scale": args.scale,
+                "seed": args.seed,
+                "jobs": args.jobs,
+            },
+        )
+        print("=== simulator self-profile ===")
+        print(format_table(profiler))
+        print(f"profile.json: {json_path}")
+        print(f"speedscope: {speedscope_path} "
+              "(open in https://www.speedscope.app)")
     if args.health_report:
         _write_health_report(
             args.health_report, targets, args, bank, registry

@@ -23,6 +23,7 @@ from repro.check import active_check_mode, check_global_clock
 from repro.cluster.machines import MachineSpec
 from repro.obs.timeseries import get_default_timeseries
 from repro.parallel import JobSpec, job_seeds, run_jobs, seed_int
+from repro.prof import get_default_profiler
 from repro.simmpi.simulation import Simulation
 from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec
 from repro.sync.offset import SKaMPIOffset
@@ -222,6 +223,7 @@ def _campaign_job(
     check_offset_alg = SKaMPIOffset(nexchanges=nexchanges)
     sample_seed = seed_int(seedseq)
     bank = get_default_timeseries()
+    prof = get_default_profiler()
 
     def main(ctx, comm):
         t0 = ctx.now
@@ -239,7 +241,15 @@ def _campaign_job(
         )
         return (duration, offsets, global_clock)
 
-    with bank.scoped(scope) if bank is not None else nullcontext():
+    with (
+        bank.scoped(scope) if bank is not None else nullcontext(),
+        # Per-algorithm attribution: every engine/sync zone of this
+        # mpirun nests under the algorithm label, so merged campaign
+        # profiles break wall time down per algorithm family.  Runs of
+        # one label aggregate into one subtree (the run index is not
+        # part of the zone name on purpose).
+        prof.zone(f"job:{label}") if prof is not None else nullcontext(),
+    ):
         sim = Simulation(
             machine=machine,
             network=machine_spec.network(),

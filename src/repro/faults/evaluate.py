@@ -215,13 +215,21 @@ def _run_recovery_scoped(
                 algorithm_factory(), max_model_age=resync_age
             ),
         )
-        while True:
+        # ensure() is collective, so every rank must make the same
+        # number of calls.  A rank-local `ctx.now >= horizon` exit test
+        # deadlocks under faults: a straggler's true time is dilated, so
+        # it crosses the horizon in fewer iterations than its peers and
+        # leaves them blocked inside the next round's bcast.  The trip
+        # count is therefore fixed up front (identical to the time-based
+        # exit whenever per-round overhead is small vs the interval).
+        nsteps = int(np.ceil(horizon / ensure_interval))
+        for step in range(nsteps + 1):
             clock = yield from resync.ensure(comm, ctx)
             if not recs or recs[-1][1] is not clock:
                 recs.append((ctx.now, clock))
-            if ctx.now >= horizon:
-                return resync.resync_count
-            yield from ctx.elapse(ensure_interval)
+            if step < nsteps:
+                yield from ctx.elapse(ensure_interval)
+        return resync.resync_count
 
     result = sim.run(main)
     label = (

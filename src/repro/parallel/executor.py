@@ -53,6 +53,11 @@ from repro.obs.timeseries import (
     default_timeseries,
     get_default_timeseries,
 )
+from repro.prof.core import (
+    Profiler,
+    default_profiler,
+    get_default_profiler,
+)
 
 
 @dataclass(frozen=True)
@@ -90,16 +95,18 @@ def _execute_job(
     sink_mode: str | None,
     want_metrics: bool,
     want_bank: bool,
+    want_profiler: bool = False,
 ):
     """Run one job under fresh obs defaults (both worker- and serial-side).
 
-    Returns ``(result, payload, registry, bank)``; ``payload`` depends on
-    ``sink_mode``: ``None`` (no sink), ``"count"`` (dict of event counts)
-    or ``"record"`` (event list, for recording-style sinks).
+    Returns ``(result, payload, registry, bank, profiler)``; ``payload``
+    depends on ``sink_mode``: ``None`` (no sink), ``"count"`` (dict of
+    event counts) or ``"record"`` (event list, for recording sinks).
     """
     sink: EventSink | None = None
     registry = MetricsRegistry() if want_metrics else None
     bank = TimeSeriesBank() if want_bank else None
+    profiler = Profiler() if want_profiler else None
     with ExitStack() as stack:
         if sink_mode is not None:
             sink = (
@@ -110,11 +117,13 @@ def _execute_job(
             stack.enter_context(default_metrics(registry))
         if bank is not None:
             stack.enter_context(default_timeseries(bank))
+        if profiler is not None:
+            stack.enter_context(default_profiler(profiler))
         result = spec.fn(*spec.args, **spec.kwargs)
     payload = None
     if sink_mode is not None:
         payload = sink.counts if sink_mode == "count" else sink.events
-    return result, payload, registry, bank
+    return result, payload, registry, bank, profiler
 
 
 def _merge_obs(
@@ -125,6 +134,8 @@ def _merge_obs(
     payload,
     registry: MetricsRegistry | None,
     bank: TimeSeriesBank | None,
+    parent_profiler: Profiler | None = None,
+    profiler: Profiler | None = None,
 ) -> None:
     if parent_sink is not None and payload:
         if sink_mode == "count":
@@ -139,6 +150,8 @@ def _merge_obs(
         parent_metrics.merge_from(registry)
     if parent_bank is not None and bank is not None:
         parent_bank.merge_from(bank)
+    if parent_profiler is not None and profiler is not None:
+        parent_profiler.merge_from(profiler)
 
 
 def run_jobs(
@@ -158,7 +171,9 @@ def run_jobs(
     obs objects and fold them in submission order.
 
     ``sink``/``metrics``/``timeseries`` default to the process-wide
-    observability defaults; the executor publishes
+    observability defaults; the process-wide default profiler (when one
+    is installed) is likewise isolated per job and merged back in
+    submission order.  The executor publishes
     ``parallel.jobs.completed`` and ``parallel.workers`` through the
     registry either way.
     """
@@ -170,23 +185,29 @@ def run_jobs(
     )
     njobs = min(resolve_jobs(jobs), len(specs)) if specs else 1
 
+    profiler = get_default_profiler()
+
     sink_mode = None
     if sink is not None:
         sink_mode = "count" if isinstance(sink, CountingSink) else "record"
     want_metrics = metrics is not None
     want_bank = timeseries is not None
-    observed = sink_mode is not None or want_metrics or want_bank
+    want_prof = profiler is not None
+    observed = (
+        sink_mode is not None or want_metrics or want_bank or want_prof
+    )
 
     results = []
     if njobs <= 1:
         for spec in specs:
             if observed:
-                result, payload, registry, bank = _execute_job(
-                    spec, sink_mode, want_metrics, want_bank
+                result, payload, registry, bank, job_prof = _execute_job(
+                    spec, sink_mode, want_metrics, want_bank, want_prof
                 )
                 _merge_obs(
                     sink, metrics, timeseries,
                     sink_mode, payload, registry, bank,
+                    profiler, job_prof,
                 )
                 results.append(result)
             else:
@@ -202,11 +223,13 @@ def run_jobs(
         outcomes = list(pool.map(
             _execute_job, specs,
             [sink_mode] * n, [want_metrics] * n, [want_bank] * n,
+            [want_prof] * n,
         ))
-    for result, payload, registry, bank in outcomes:
+    for result, payload, registry, bank, job_prof in outcomes:
         results.append(result)
         _merge_obs(
-            sink, metrics, timeseries, sink_mode, payload, registry, bank
+            sink, metrics, timeseries, sink_mode, payload, registry, bank,
+            profiler, job_prof,
         )
         if metrics is not None:
             metrics.counter("parallel.jobs.completed").inc()

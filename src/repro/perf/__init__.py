@@ -1,29 +1,39 @@
 """Performance micro-harness: engine throughput + campaign wall time.
 
 See :mod:`repro.perf.harness` for the workloads and the
-``BENCH_engine.json`` record format; ``benchmarks/bench_engine_perf.py``
-is the command-line front end and :mod:`repro.perf.regress`
-(``python -m repro.perf.regress``) is the CI regression gate over the
-recorded entries.
+``BENCH_engine.json`` append-only trajectory format;
+``benchmarks/bench_engine_perf.py`` is the command-line front end,
+:mod:`repro.perf.scaling` (``python -m repro.perf.scaling``) sweeps the
+ring workload over rank counts with per-zone breakdowns, and
+:mod:`repro.perf.regress` (``python -m repro.perf.regress``) is the CI
+regression gate comparing the latest entry against the best prior one.
 """
 
 from repro.perf.harness import (
     BENCH_FILE,
+    BENCH_FORMAT,
     campaign_benchmark,
     engine_benchmark,
+    git_describe,
     load_bench,
     record_bench,
+    ring_machine,
     speedup,
+    upgrade_bench,
 )
 from repro.perf.regress import RegressionCheck, check_bench
 
 __all__ = [
     "BENCH_FILE",
+    "BENCH_FORMAT",
     "RegressionCheck",
     "campaign_benchmark",
     "check_bench",
     "engine_benchmark",
+    "git_describe",
     "load_bench",
     "record_bench",
+    "ring_machine",
     "speedup",
+    "upgrade_bench",
 ]

@@ -1,14 +1,24 @@
-"""Performance-regression gate over ``BENCH_engine.json``.
+"""Performance-regression gate over the ``BENCH_engine.json`` trajectory.
 
-Compares the ``current`` entry against the committed ``baseline`` and
-fails when current throughput has *regressed past baseline* by more than
-the tolerance — the guard the ROADMAP's "fast as the hardware allows"
-goal needs now that the benchmark file exists.  Two checks:
+Per metric, compares the trajectory's **latest** entry carrying that
+metric against the **best prior** one and fails when the latest has
+regressed past it by more than the tolerance — the guard the ROADMAP's
+"fast as the hardware allows" goal needs, generalized from a frozen
+baseline/current pair to an append-only history.  Checks (each one
+emitted only when at least two entries carry the data — entries may
+legitimately miss optional sections, e.g. ``campaign_parallel`` on a
+1-CPU runner, ``scaling`` from trees that predate the probe, or
+engine/campaign numbers in a scaling-only entry):
 
-* ``engine.msgs_per_sec`` — lower than baseline by > tolerance fails;
-* ``campaign.wall_s`` — higher than baseline by > tolerance fails, using
-  the *fastest* recorded current configuration (serial or parallel),
-  mirroring :func:`repro.perf.harness.speedup`.
+* ``engine.msgs_per_sec`` — latest lower than the best (max) prior by
+  > tolerance fails;
+* ``campaign.wall_s`` — latest higher than the best (min) prior by
+  > tolerance fails, each side using its *fastest* recorded
+  configuration (serial or parallel);
+* ``scaling[<workload>/<budget>,p=N].msgs_per_sec`` — one check per
+  rank count recorded by ``python -m repro.perf.scaling``, latest vs
+  best prior at the same workload, budget and ``p`` (sweeps of
+  different configurations never compare).
 
 CLI (for CI)::
 
@@ -16,8 +26,8 @@ CLI (for CI)::
                                  [--tolerance 0.15] [--soft-fail]
 
 Exit codes: 0 all checks pass, 1 regression detected, 2 benchmark file
-or entries missing.  ``--soft-fail`` downgrades every failure to a
-warning with exit 0 — for CI phases where baselines are still
+or comparable entries missing.  ``--soft-fail`` downgrades every failure
+to a warning with exit 0 — for CI phases where the trajectory is still
 accumulating or the runner's horsepower is not comparable.
 """
 
@@ -27,7 +37,7 @@ import argparse
 from dataclasses import dataclass
 from typing import Any
 
-from repro.perf.harness import BENCH_FILE, load_bench
+from repro.perf.harness import BENCH_FILE, load_bench, upgrade_bench
 
 #: Default allowed relative regression (0.15 == 15%).
 DEFAULT_TOLERANCE = 0.15
@@ -35,7 +45,7 @@ DEFAULT_TOLERANCE = 0.15
 
 @dataclass(frozen=True)
 class RegressionCheck:
-    """Outcome of one baseline-vs-current comparison."""
+    """Outcome of one best-prior-vs-latest comparison."""
 
     name: str
     baseline: float
@@ -53,55 +63,100 @@ class RegressionCheck:
         direction = "drop" if self.name.endswith("msgs_per_sec") else "rise"
         verdict = "ok" if self.ok else "REGRESSION"
         return (
-            f"{self.name}: baseline {self.baseline:g} -> current "
+            f"{self.name}: best prior {self.baseline:g} -> latest "
             f"{self.current:g} ({self.regression:+.1%} {direction}, "
             f"tolerance {self.tolerance:.0%}) {verdict}"
         )
 
 
+def _campaign_wall(entry: dict[str, Any]) -> float | None:
+    """Fastest recorded campaign configuration, serial or parallel."""
+    walls = [
+        entry[key]["wall_s"]
+        for key in ("campaign", "campaign_parallel")
+        if entry.get(key, {}).get("wall_s")
+    ]
+    return min(walls) if walls else None
+
+
+def _scaling_rates(entry: dict[str, Any]) -> dict[str, float]:
+    """``{key: msgs_per_sec}`` from a scaling section, if any.
+
+    The key folds in workload and budget, so only points measuring the
+    same configuration ever compare (a CI sweep at a tiny budget must
+    not gate against the full-size default sweep).
+    """
+    section = entry.get("scaling", {})
+    workload = section.get("workload", "ring")
+    budget = section.get("budget", 0)
+    return {
+        f"{workload}/{budget},p={int(pt['p'])}": pt["msgs_per_sec"]
+        for pt in section.get("points", [])
+        if pt.get("p") and pt.get("msgs_per_sec")
+    }
+
+
 def check_bench(
     data: dict[str, Any], tolerance: float = DEFAULT_TOLERANCE
 ) -> list[RegressionCheck]:
-    """All baseline-vs-current checks the file's entries support.
+    """All latest-vs-best-prior checks the trajectory's entries support.
 
-    Raises :class:`KeyError` when the ``baseline`` or ``current`` entry
-    is missing entirely — the caller distinguishes "no data" (exit 2)
-    from "data says regression" (exit 1).
+    Each metric is gated independently over the entries that *carry* it:
+    "latest" is the newest entry recording the metric and "best prior"
+    the best among older ones, so an appended scaling-only entry neither
+    loses the engine/campaign gate nor trips a missing-section error.
+    Raises :class:`KeyError` when no metric appears in at least two
+    entries — the caller distinguishes "no data" (exit 2) from "data
+    says regression" (exit 1).
     """
-    entries = data.get("entries", {})
-    base, cur = entries.get("baseline"), entries.get("current")
-    if not base or not cur:
-        missing = [
-            label for label, entry in (("baseline", base), ("current", cur))
-            if not entry
-        ]
-        raise KeyError(f"missing entries: {', '.join(missing)}")
-
+    entries = upgrade_bench(data).get("entries", [])
+    if len(entries) < 2:
+        raise KeyError(
+            f"need >= 2 trajectory entries to compare, have {len(entries)}"
+        )
     checks: list[RegressionCheck] = []
-    b_rate = base.get("engine", {}).get("msgs_per_sec")
-    c_rate = cur.get("engine", {}).get("msgs_per_sec")
-    if b_rate and c_rate:
+
+    rates = [
+        e["engine"]["msgs_per_sec"] for e in entries
+        if e.get("engine", {}).get("msgs_per_sec")
+    ]
+    if len(rates) >= 2:
+        b_rate = max(rates[:-1])
         checks.append(RegressionCheck(
             name="engine.msgs_per_sec",
             baseline=b_rate,
-            current=c_rate,
-            regression=1.0 - c_rate / b_rate,
+            current=rates[-1],
+            regression=1.0 - rates[-1] / b_rate,
             tolerance=tolerance,
         ))
 
-    b_wall = base.get("campaign", {}).get("wall_s")
-    cur_walls = [
-        cur[key]["wall_s"]
-        for key in ("campaign", "campaign_parallel")
-        if cur.get(key, {}).get("wall_s")
+    walls = [
+        w for w in (_campaign_wall(e) for e in entries) if w is not None
     ]
-    if b_wall and cur_walls:
-        c_wall = min(cur_walls)
+    if len(walls) >= 2:
+        b_wall = min(walls[:-1])
         checks.append(RegressionCheck(
             name="campaign.wall_s",
             baseline=b_wall,
-            current=c_wall,
-            regression=c_wall / b_wall - 1.0,
+            current=walls[-1],
+            regression=walls[-1] / b_wall - 1.0,
+            tolerance=tolerance,
+        ))
+
+    by_key: dict[str, list[float]] = {}
+    for entry in entries:
+        for key, rate in _scaling_rates(entry).items():
+            by_key.setdefault(key, []).append(rate)
+    for key in sorted(by_key):
+        series = by_key[key]
+        if len(series) < 2:
+            continue
+        best = max(series[:-1])
+        checks.append(RegressionCheck(
+            name=f"scaling[{key}].msgs_per_sec",
+            baseline=best,
+            current=series[-1],
+            regression=1.0 - series[-1] / best,
             tolerance=tolerance,
         ))
     return checks
@@ -122,7 +177,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--soft-fail", action="store_true",
-        help="report failures but always exit 0 (baseline bootstrap mode)",
+        help="report failures but always exit 0 (trajectory bootstrap "
+             "mode)",
     )
     args = parser.parse_args(argv)
 

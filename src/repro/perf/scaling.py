@@ -1,0 +1,236 @@
+"""Rank-count scaling probe: ``python -m repro.perf.scaling``.
+
+Sweeps the simulator over a list of rank counts (default
+``p ∈ {32, 128, 512, 2048}``) and records, per point, event-loop
+throughput (msgs/s, events/s) plus a per-zone wall-time breakdown from a
+second, profiled run of the identical workload.  This is the measurement
+the ROADMAP's "vectorized sync kernel at p >= 4096" item needs: it shows
+*which* engine zone stops scaling first as p grows, not just that the
+wall time does.
+
+Two workloads:
+
+* ``ring`` — the :mod:`repro.perf.harness` nearest-neighbour ring with a
+  fixed total message budget, so ``nrounds ≈ budget / p`` and every
+  point moves a comparable number of messages;
+* ``fig3`` — one flat HCA synchronization (the Fig. 3 workload family)
+  over all p ranks, whose message count grows ~p·log p like the real
+  algorithm.
+
+Results go to the ``BENCH_engine.json`` trajectory via ``--record``:
+one entry whose ``scaling`` section :mod:`repro.perf.regress` compares
+per rank count against the best prior entry.
+
+CLI::
+
+    python -m repro.perf.scaling [--p 32 128 512 2048] [--workload ring]
+                                 [--budget 25600] [--seed 0] [--no-zones]
+                                 [--record LABEL] [--output BENCH.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro.cluster.netmodels import infiniband_qdr
+from repro.perf.harness import (
+    BENCH_FILE,
+    _ring_main,
+    record_bench,
+    ring_machine,
+)
+from repro.prof import Profiler, zone_breakdown
+from repro.simmpi.simulation import Simulation
+
+#: Rank counts swept by default — powers of 4 up to the scale where the
+#: pure-python kernel becomes the bottleneck (see ROADMAP item 1).
+DEFAULT_P = (32, 128, 512, 2048)
+
+#: Ring workload: total messages per point (``nrounds ≈ budget / p``).
+DEFAULT_BUDGET = 25600
+
+#: fig3 workload: the flat-HCA label synced once over all p ranks.  Small
+#: fit-point/exchange counts keep the largest points tractable; the
+#: *scaling* of the traffic pattern with p is what the probe measures.
+FIG3_LABEL = "hca/8/skampi_offset/4"
+
+RANKS_PER_NODE = 4
+
+
+def _fig3_main():
+    """SPMD body: one flat-HCA clock synchronization, no accuracy check."""
+    from repro.sync.registry import algorithm_from_label
+
+    algorithm = algorithm_from_label(FIG3_LABEL, fitpoint_spacing=1e-3)
+
+    def main(ctx, comm):
+        yield from algorithm.sync_clocks(comm, ctx.hardware_clock)
+        return ctx.now
+
+    return main
+
+
+def _build(p: int, workload: str, budget: int, seed: int):
+    """(simulation factory, SPMD body, params dict) for one sweep point."""
+    if p < RANKS_PER_NODE or p % RANKS_PER_NODE:
+        raise ValueError(
+            f"p={p} must be a multiple of {RANKS_PER_NODE}"
+        )
+    machine = ring_machine(p // RANKS_PER_NODE, RANKS_PER_NODE)
+
+    def make_sim(profiler: Profiler | None = None) -> Simulation:
+        return Simulation(
+            machine=machine, network=infiniband_qdr(), seed=seed,
+            profiler=profiler,
+        )
+
+    if workload == "ring":
+        nrounds = max(4, budget // p)
+        return make_sim, lambda: _ring_main(nrounds), {"nrounds": nrounds}
+    if workload == "fig3":
+        return make_sim, _fig3_main, {"label": FIG3_LABEL}
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def probe_point(
+    p: int,
+    workload: str = "ring",
+    budget: int = DEFAULT_BUDGET,
+    seed: int = 0,
+    zones: bool = True,
+) -> dict[str, Any]:
+    """Measure one rank count: throughput (unprofiled) + zone breakdown.
+
+    The timing run is unprofiled; ``zones=True`` repeats the identical
+    deterministic workload under a profiler so the breakdown costs the
+    timing numbers nothing.
+    """
+    make_sim, make_main, params = _build(p, workload, budget, seed)
+    sim = make_sim()
+    t0 = time.perf_counter()
+    result = sim.run(make_main())
+    wall = time.perf_counter() - t0
+    stats = sim.engine.stats()
+    point: dict[str, Any] = {
+        "p": p,
+        "workload": workload,
+        "seed": seed,
+        **params,
+        "wall_s": wall,
+        "messages": result.messages,
+        "msgs_per_sec": result.messages / wall if wall > 0 else 0.0,
+        "events_processed": stats["events_processed"],
+        "events_per_sec": (
+            stats["events_processed"] / wall if wall > 0 else 0.0
+        ),
+        "max_queue_depth": stats["max_queue_depth"],
+    }
+    if zones:
+        profiler = Profiler()
+        make_sim(profiler).run(make_main())
+        point["zones"] = zone_breakdown(profiler)
+    return point
+
+
+def scaling_probe(
+    p_values=DEFAULT_P,
+    workload: str = "ring",
+    budget: int = DEFAULT_BUDGET,
+    seed: int = 0,
+    zones: bool = True,
+    verbose: bool = False,
+) -> dict[str, Any]:
+    """Sweep ``p_values``; returns the entry's ``scaling`` section."""
+    points = []
+    for p in p_values:
+        point = probe_point(
+            p, workload=workload, budget=budget, seed=seed, zones=zones
+        )
+        points.append(point)
+        if verbose:
+            print(
+                f"p={p:5d}: {point['messages']:7d} msgs in "
+                f"{point['wall_s']:6.2f}s -> "
+                f"{point['msgs_per_sec']:10,.0f} msgs/s, "
+                f"{point['events_per_sec']:10,.0f} events/s",
+                flush=True,
+            )
+            if zones:
+                rows = sorted(
+                    point["zones"]["zones"].items(),
+                    key=lambda kv: -kv[1]["self_ns"],
+                )
+                for path, z in rows[:3]:
+                    print(
+                        f"         {path}: {z['self_ns'] / 1e6:.1f}ms self "
+                        f"({z['count']}x)"
+                    )
+    return {
+        "workload": workload,
+        "budget": budget,
+        "seed": seed,
+        "points": points,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.scaling",
+        description="Sweep simulator throughput over rank counts.",
+    )
+    parser.add_argument(
+        "--p", type=int, nargs="+", default=list(DEFAULT_P),
+        metavar="P", help=f"rank counts to sweep (default: {DEFAULT_P})",
+    )
+    parser.add_argument(
+        "--workload", choices=["ring", "fig3"], default="ring",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=DEFAULT_BUDGET,
+        help="ring workload: total messages per point "
+             f"(default: {DEFAULT_BUDGET})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-zones", action="store_true",
+        help="skip the profiled second run per point (halves runtime)",
+    )
+    parser.add_argument(
+        "--record", metavar="LABEL",
+        help="append the sweep to the benchmark trajectory under LABEL",
+    )
+    parser.add_argument(
+        "--output", default=BENCH_FILE,
+        help=f"trajectory file for --record (default: {BENCH_FILE})",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the scaling section as JSON to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    scaling = scaling_probe(
+        p_values=args.p,
+        workload=args.workload,
+        budget=args.budget,
+        seed=args.seed,
+        zones=not args.no_zones,
+        verbose=not args.json,
+    )
+    if args.json:
+        print(json.dumps(scaling, indent=2, sort_keys=True))
+    if args.record:
+        data = record_bench(args.record, {"scaling": scaling}, args.output)
+        print(
+            f"recorded '{args.record}' -> {args.output} "
+            f"({len(data['entries'])} entries)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ from repro.simmpi.rngpool import DEFAULT_CHUNK, UniformPool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
+    from repro.prof.core import Profiler
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +169,7 @@ class Engine:
         timeseries: TimeSeriesBank | None = None,
         injector: "FaultInjector | None" = None,
         rng_pool_chunk: int = DEFAULT_CHUNK,
+        profiler: "Profiler | None" = None,
     ) -> None:
         self.network = network
         self.level_of = level_of
@@ -214,6 +216,12 @@ class Engine:
         #: delay draws, NIC gaps, and compute intervals at scheduled true
         #: times.  ``None`` keeps every hot path on its fault-free branch.
         self.injector = injector
+        #: Optional wall-time self-profiler (see :mod:`repro.prof`).
+        #: Profiling only reads the host clock — it never draws
+        #: randomness or advances virtual time, so profiled runs are
+        #: bit-identical to unprofiled ones; with ``None`` every
+        #: instrumentation site is one pointer comparison.
+        self.profiler = profiler
         #: Monotonically increasing count of delivered messages (stats).
         self.messages_delivered = 0
         #: Payload bytes of all delivered messages.
@@ -229,6 +237,10 @@ class Engine:
         #: Messages still sitting in mailboxes when the run completed
         #: (sent but never received; finalized at the end of run()).
         self.messages_unreceived = 0
+        #: Events popped off the pending-event heap (loop iterations).
+        self.events_processed = 0
+        #: Deepest pending-event heap seen during the run.
+        self.max_queue_depth = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -285,6 +297,16 @@ class Engine:
         if self._started:
             raise SimulationError("engine can only run once")
         self._started = True
+        prof = self.profiler
+        if prof is None:
+            return self._run()
+        start = prof.push("engine.run")
+        try:
+            return self._run()
+        finally:
+            prof.pop(start)
+
+    def _run(self) -> list[Any]:
         if self.injector is not None:
             # The schedule is known a priori: emit one record per fault
             # so traces show fault windows at their exact virtual times.
@@ -320,18 +342,37 @@ class Engine:
         heap = self._heap
         procs = self._procs
         max_true_time = self.max_true_time
-        while heap:
-            t, _, rank = heapq.heappop(heap)
-            proc = procs[rank]
-            if proc.finished:
-                continue
-            if t > max_true_time:
-                raise SimulationError(
-                    f"simulation exceeded max_true_time={max_true_time}"
-                )
-            if t > proc.now:
-                proc.now = t
-            self._run_proc(proc)
+        bank = self.timeseries
+        events = 0
+        try:
+            while heap:
+                t, _, rank = heapq.heappop(heap)
+                events += 1
+                depth = len(heap)
+                if depth > self.max_queue_depth:
+                    self.max_queue_depth = depth
+                if bank is not None and not events & 63:
+                    # Event-queue pressure telemetry: sampled every 64
+                    # pops so health reports can show heap depth next to
+                    # NIC backlog without touching the per-event cost.
+                    bank.sample(
+                        "engine.events.queue_depth", t, float(depth)
+                    )
+                    bank.sample(
+                        "engine.events.processed", t, float(events)
+                    )
+                proc = procs[rank]
+                if proc.finished:
+                    continue
+                if t > max_true_time:
+                    raise SimulationError(
+                        f"simulation exceeded max_true_time={max_true_time}"
+                    )
+                if t > proc.now:
+                    proc.now = t
+                self._run_proc(proc)
+        finally:
+            self.events_processed += events
 
         unfinished = [p.rank for p in self._procs if not p.finished]
         if unfinished:
@@ -375,16 +416,33 @@ class Engine:
         heap = self._heap
         sink = self.sink
         injector = self.injector
+        prof = self.profiler
         send = gen.send
         while True:
             if cmd is None:
-                try:
-                    cmd = send(value)
-                except StopIteration as stop:
-                    proc.finished = True
-                    proc.result = stop.value
-                    self._live -= 1
-                    return
+                if prof is not None:
+                    # "proc.advance" is the inline execution of process
+                    # code between two commands — the sync algorithms'
+                    # compute (fitting, offset math, clock reads) lands
+                    # here, with finer zones nested by those layers.
+                    start = prof.push("proc.advance")
+                    try:
+                        cmd = send(value)
+                    except StopIteration as stop:
+                        prof.pop(start)
+                        proc.finished = True
+                        proc.result = stop.value
+                        self._live -= 1
+                        return
+                    prof.pop(start)
+                else:
+                    try:
+                        cmd = send(value)
+                    except StopIteration as stop:
+                        proc.finished = True
+                        proc.result = stop.value
+                        self._live -= 1
+                        return
                 value = None
             if heap and proc.now > heap[0][0] and self._live > 1:
                 # Ahead of the frontier: defer until the heap catches up.
@@ -396,12 +454,18 @@ class Engine:
                 self._schedule(proc, proc.now)
                 return
             if type(cmd) is SendCmd:
-                self._do_send(proc, cmd)
+                if prof is not None:
+                    start = prof.push("engine.send")
+                    self._do_send(proc, cmd)
+                    prof.pop(start)
+                else:
+                    self._do_send(proc, cmd)
                 if cmd.synchronous:
                     # Sender parks until the receiver matches (rendezvous).
                     proc.blocked = "ssend"
                     return
             elif type(cmd) is RecvCmd:
+                start = prof.push("engine.recv") if prof is not None else 0
                 msg = self._match_mailbox(proc, cmd.source, cmd.tag)
                 if msg is None:
                     proc.blocked = RecvDescriptor(
@@ -413,8 +477,12 @@ class Engine:
                             time=proc.now, rank=proc.rank, reason="recv",
                             source=cmd.source, tag=cmd.tag,
                         ))
+                    if prof is not None:
+                        prof.pop(start)
                     return
                 value = self._complete_recv(proc, msg)
+                if prof is not None:
+                    prof.pop(start)
             elif type(cmd) is ElapseCmd:
                 # duration >= 0 is guaranteed by ElapseCmd construction.
                 duration = cmd.duration
@@ -443,6 +511,7 @@ class Engine:
         metrics = self.metrics
         bank = self.timeseries
         injector = self.injector
+        prof = self.profiler
         pool = proc.pool
         level_cache = self._level_cache
         pair = (proc.rank, cmd.dest)
@@ -454,6 +523,7 @@ class Engine:
         self.messages_sent += 1
         self.bytes_sent += cmd.size
         if sink is not None:
+            t0 = prof.clock() if prof is not None else 0
             sink.emit(obs_events.MsgSend(
                 time=send_time, rank=proc.rank, dest=cmd.dest, tag=cmd.tag,
                 size=cmd.size, seq=seq, level=level.name,
@@ -464,6 +534,10 @@ class Engine:
                     time=send_time, rank=proc.rank, reason="ssend",
                     source=cmd.dest, tag=cmd.tag,
                 ))
+            if prof is not None:
+                # Sink overhead (incl. an attached sanitizer behind a
+                # TeeSink) accounted where it is paid.
+                prof.add("obs.sink", prof.clock() - t0)
         if cmd.synchronous:
             self.rendezvous_stalls += 1
             proc.block_time = send_time
@@ -475,6 +549,7 @@ class Engine:
                 metrics.counter("engine.rendezvous.stalls",
                                 proc.rank).inc()
         proc.now += network.o_send
+        t0 = prof.clock() if prof is not None else 0
         delay = network.delay_from_pool(level, cmd.size, pool)
         if injector is not None:
             # Link faults: windowed degradation of the delay draw.
@@ -532,6 +607,11 @@ class Engine:
                     "engine.nic.backlog", send_time, backlog,
                     rank=proc.rank,
                 )
+        if prof is not None:
+            # Delay draw + fault perturbation + NIC serialization model:
+            # the per-message network pricing the vectorization ROADMAP
+            # item wants to batch.
+            prof.add("net.delay", prof.clock() - t0)
         msg = Message(
             source=proc.rank,
             dest=cmd.dest,
@@ -581,15 +661,19 @@ class Engine:
 
     def _finish_delivery(self, proc: _Proc, msg: Message) -> Message:
         """Charge receive overhead and release a rendezvous sender."""
+        prof = self.profiler
         proc.now += self.network.o_recv
         self.messages_delivered += 1
         self.bytes_delivered += msg.size
         if self.sink is not None:
+            t0 = prof.clock() if prof is not None else 0
             self.sink.emit(obs_events.MsgDeliver(
                 time=proc.now, rank=proc.rank, source=msg.source,
                 tag=msg.tag, size=msg.size, seq=msg.seq,
                 latency=proc.now - msg.send_time,
             ))
+            if prof is not None:
+                prof.add("obs.sink", prof.clock() - t0)
         if self.metrics is not None:
             self.metrics.counter("engine.messages.delivered",
                                  proc.rank).inc()
@@ -604,11 +688,14 @@ class Engine:
                 level = self._level_cache[pair] = self.level_of(
                     msg.dest, msg.source
                 )
+            t0 = prof.clock() if prof is not None else 0
             ack_delay = self.network.delay_from_pool(level, 8, proc.pool)
             if self.injector is not None:
                 ack_delay = self.injector.perturb_delay(
                     proc.now, level, ack_delay, proc.rng
                 )
+            if prof is not None:
+                prof.add("net.delay", prof.clock() - t0)
             resume_at = max(proc.now, msg.arrival) + ack_delay
             sender.now = max(sender.now, resume_at)
             sender.blocked = None
@@ -647,4 +734,6 @@ class Engine:
             "rendezvous_stalls": self.rendezvous_stalls,
             "max_mailbox_depth": self.max_mailbox_depth,
             "gate_deferrals": self.gate_deferrals,
+            "events_processed": self.events_processed,
+            "max_queue_depth": self.max_queue_depth,
         }

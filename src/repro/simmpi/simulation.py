@@ -44,6 +44,7 @@ from repro.faults.schedule import FaultSchedule
 from repro.obs.events import EventSink, get_default_sink
 from repro.obs.metrics import MetricsRegistry, get_default_metrics
 from repro.obs.timeseries import TimeSeriesBank, get_default_timeseries
+from repro.prof.core import Profiler, get_default_profiler
 from repro.simmpi.comm import Communicator
 from repro.simmpi.engine import Engine
 from repro.simmpi.network import NetworkModel
@@ -104,6 +105,7 @@ class Simulation:
         faults: FaultSchedule | None = None,
         rng_pool_chunk: int | None = None,
         check: str | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         """Set up the job.
 
@@ -145,6 +147,12 @@ class Simulation:
         process-wide mode (``REPRO_CHECK`` / ``repro.check.checking``)
         applies; checking is passive — results are bit-identical with
         it on or off.
+
+        ``profiler`` attaches the wall-time self-profiler (see
+        :mod:`repro.prof`); when omitted, the process-wide default
+        installed via ``repro.prof.set_default_profiler`` applies.
+        Profiling only reads the host clock, so profiled runs are
+        bit-identical to unprofiled ones.
         """
         if clocks_per not in ("node", "socket", "core"):
             raise SimulationError(
@@ -173,6 +181,9 @@ class Simulation:
             timeseries
             if timeseries is not None
             else get_default_timeseries()
+        )
+        self.profiler = (
+            profiler if profiler is not None else get_default_profiler()
         )
         self.faults = faults
         if faults is not None:
@@ -216,6 +227,7 @@ class Simulation:
             metrics=self.metrics,
             timeseries=self.timeseries,
             injector=injector,
+            profiler=self.profiler,
             **(
                 {"rng_pool_chunk": rng_pool_chunk}
                 if rng_pool_chunk is not None
@@ -279,18 +291,27 @@ class Simulation:
 
     def run(self, main: MainFn) -> SimulationResult:
         """Execute ``main(ctx, world)`` on every rank to completion."""
-        for rank in range(self.machine.num_ranks):
-            ctx = self.contexts[rank]
-            gen = main(ctx, self.world(rank))
-            self.engine.bind(rank, gen)
-        values = self.engine.run()
+        prof = self.profiler
+        start = prof.push("sim.run") if prof is not None else 0
+        try:
+            for rank in range(self.machine.num_ranks):
+                ctx = self.contexts[rank]
+                gen = main(ctx, self.world(rank))
+                self.engine.bind(rank, gen)
+            values = self.engine.run()
+        finally:
+            if prof is not None:
+                prof.pop(start)
         report: CheckReport | None = None
         if self.checker is not None:
+            start = prof.push("check.finalize") if prof is not None else 0
             report = self.checker.finalize(self.engine)
             if self.checker.mode == "report":
                 out_dir = check_report_dir()
                 if out_dir is not None:
                     append_report(report, out_dir)
+            if prof is not None:
+                prof.pop(start)
         return SimulationResult(
             values=values,
             messages=self.engine.messages_delivered,

@@ -119,7 +119,15 @@ def learn_clock_model(
             ))
         if fitpoint_spacing > 0.0 and idx != nfitpoints - 1:
             yield from comm.ctx.elapse(fitpoint_spacing)
+    prof = comm.ctx.engine.profiler
+    if prof is not None:
+        # Pure-compute section (no yields inside): safe to zone.  The
+        # regression is the per-round "fitting" phase of every
+        # hierarchy-based algorithm.
+        t_fit = prof.push("sync.fit")
     lm = LinearDriftModel.fit(xfit, yfit)
+    if prof is not None:
+        prof.pop(t_fit)
     bank = comm.ctx.engine.timeseries
     if bank is not None:
         # Drift-model trajectory + round duration for the health layer.

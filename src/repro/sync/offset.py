@@ -116,6 +116,11 @@ class SKaMPIOffset(OffsetAlgorithm):
             rtt_min = min(rtt_min, s_now - s_last)
         diff = (td_min + td_max) / 2.0  # estimate of (ref - client)
         timestamp = ctx.read_clock(clock)
+        prof = ctx.engine.profiler
+        if prof is not None:
+            # The exchange wall time itself lives in the engine's
+            # send/recv zones; this marks one completed offset round.
+            prof.tick("sync.offset.rounds")
         return ClockOffset(
             timestamp=timestamp, offset=-diff, rtt=float(rtt_min)
         )
@@ -201,12 +206,19 @@ class MeanRTTOffset(OffsetAlgorithm):
             # current offset estimate: client - ref (ref_time was stamped
             # ~rtt/2 before our read).
             time_var[i] = local_times[i] - ref_time - rtt / 2.0
+        prof = ctx.engine.profiler
+        if prof is not None:
+            t0 = prof.push("sync.offset.estimate")
         med_idx = int(np.argsort(time_var)[self.nexchanges // 2])
-        return ClockOffset(
+        offset = ClockOffset(
             timestamp=float(local_times[med_idx]),
             offset=float(time_var[med_idx]),
             rtt=float(rtt),
         )
+        if prof is not None:
+            prof.pop(t0)
+            prof.tick("sync.offset.rounds")
+        return offset
 
 
 OFFSET_ALGORITHMS = {

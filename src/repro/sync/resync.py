@@ -87,6 +87,10 @@ class PeriodicResyncClock:
             self.resync_count += 1
             # Recovery is observable: one event + counter tick per round.
             engine = ctx.engine
+            if engine.profiler is not None:
+                # The round's wall time is spread over the engine zones
+                # (the sync traffic yields); count the round itself.
+                engine.profiler.tick("sync.resync.rounds")
             if engine.sink is not None:
                 engine.sink.emit(ResyncRound(
                     time=ctx.now, rank=ctx.rank,

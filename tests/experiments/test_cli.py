@@ -1,8 +1,11 @@
 """Tests for the command-line experiment runner."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import TARGETS, build_parser, main
+from repro.prof import get_default_profiler
 
 
 class TestParser:
@@ -36,3 +39,33 @@ class TestMain:
         assert main(["fig2", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 2" in out
+
+
+class TestProfileFlag:
+    def test_profile_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "prof"
+        assert main(["fig3", "--profile", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "=== simulator self-profile ===" in out
+        with open(out_dir / "profile.json") as fh:
+            doc = json.load(fh)
+        assert doc["format"] == "repro-profile"
+        assert doc["meta"]["targets"] == ["fig3"]
+        assert doc["total_ns"] > 0
+        assert sum(z["self_ns"] for z in doc["zones"]) == doc["total_ns"]
+        with open(out_dir / "profile.speedscope.json") as fh:
+            ss = json.load(fh)
+        assert ss["profiles"][0]["events"]
+        # The default profiler is uninstalled after the run.
+        assert get_default_profiler() is None
+
+    def test_obs_summary_lists_slowest_zones(self, tmp_path, capsys):
+        assert main([
+            "fig3", "--profile", str(tmp_path / "p"), "--obs-summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slowest zones (self time):" in out
+
+    def test_obs_summary_without_profile_omits_zones(self, capsys):
+        assert main(["table1", "--obs-summary"]) == 0
+        assert "slowest zones" not in capsys.readouterr().out

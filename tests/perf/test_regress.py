@@ -1,4 +1,4 @@
-"""Perf-regression gate: exit codes and check math against bench files."""
+"""Perf-regression gate: exit codes and check math over the trajectory."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ import json
 
 import pytest
 
-from repro.perf.harness import BENCH_FILE
+from repro.perf.harness import BENCH_FILE, load_bench, upgrade_bench
 from repro.perf.regress import (
     DEFAULT_TOLERANCE,
     check_bench,
@@ -20,42 +20,149 @@ def _bench_data() -> dict:
         return json.load(fh)
 
 
+def _entry(label: str, **sections) -> dict:
+    return {"label": label, "recorded_at": "2026-01-01T00:00:00",
+            **sections}
+
+
 def _write(tmp_path, data) -> str:
     path = tmp_path / "bench.json"
     path.write_text(json.dumps(data))
     return str(path)
 
 
+class TestTrajectoryFormat:
+    def test_committed_file_is_format_2(self):
+        data = _bench_data()
+        assert data["format"] == 2
+        assert isinstance(data["entries"], list)
+        assert len(data["entries"]) >= 2
+        for entry in data["entries"]:
+            assert entry["label"]
+            assert entry["recorded_at"]
+
+    def test_v1_upgrade_orders_baseline_first(self):
+        v1 = {"benchmark": "engine_perf", "entries": {
+            "current": {"recorded_at": "2026-01-02T00:00:00",
+                        "engine": {"msgs_per_sec": 2.0}},
+            "baseline": {"recorded_at": "2026-01-01T00:00:00",
+                         "engine": {"msgs_per_sec": 1.0}},
+        }}
+        up = upgrade_bench(v1)
+        assert up["format"] == 2
+        assert [e["label"] for e in up["entries"]] == [
+            "baseline", "current"
+        ]
+
+    def test_v1_file_loads_and_checks(self, tmp_path):
+        v1 = {"entries": {
+            "baseline": {"engine": {"msgs_per_sec": 100.0}},
+            "current": {"engine": {"msgs_per_sec": 99.0}},
+        }}
+        path = _write(tmp_path, v1)
+        checks = check_bench(load_bench(path), DEFAULT_TOLERANCE)
+        assert [c.name for c in checks] == ["engine.msgs_per_sec"]
+        assert checks[0].ok
+
+
 class TestCheckBench:
-    def test_committed_baseline_passes(self):
+    def test_committed_trajectory_passes(self):
         checks = check_bench(_bench_data(), tolerance=DEFAULT_TOLERANCE)
-        assert {c.name for c in checks} == {
-            "engine.msgs_per_sec", "campaign.wall_s"
-        }
+        names = {c.name for c in checks}
+        assert {"engine.msgs_per_sec", "campaign.wall_s"} <= names
         assert all(c.ok for c in checks)
 
+    def test_latest_vs_best_prior(self):
+        data = {"format": 2, "entries": [
+            _entry("a", engine={"msgs_per_sec": 100.0}),
+            _entry("b", engine={"msgs_per_sec": 120.0}),
+            _entry("c", engine={"msgs_per_sec": 110.0}),
+        ]}
+        (check,) = check_bench(data, tolerance=0.15)
+        # Gate compares against the best prior (120), not the first.
+        assert check.baseline == 120.0
+        assert check.current == 110.0
+        assert check.ok
+
     def test_throughput_drop_fails(self):
-        data = copy.deepcopy(_bench_data())
-        eng = data["entries"]["current"]["engine"]
-        eng["msgs_per_sec"] = (
-            data["entries"]["baseline"]["engine"]["msgs_per_sec"] * 0.80
-        )
-        checks = check_bench(data, tolerance=DEFAULT_TOLERANCE)
-        bad = [c for c in checks if not c.ok]
-        assert [c.name for c in bad] == ["engine.msgs_per_sec"]
-        assert bad[0].regression == pytest.approx(0.20)
-        assert "REGRESSION" in bad[0].describe()
+        data = {"format": 2, "entries": [
+            _entry("a", engine={"msgs_per_sec": 100.0}),
+            _entry("b", engine={"msgs_per_sec": 80.0}),
+        ]}
+        (check,) = check_bench(data, tolerance=DEFAULT_TOLERANCE)
+        assert not check.ok
+        assert check.regression == pytest.approx(0.20)
+        assert "REGRESSION" in check.describe()
 
     def test_campaign_uses_fastest_configuration(self):
-        # campaign_parallel is slower than campaign in the committed file;
-        # the gate must compare the best current wall time, so slowing the
-        # parallel entry alone cannot fail the check.
-        data = copy.deepcopy(_bench_data())
-        data["entries"]["current"]["campaign_parallel"]["wall_s"] = 99.0
-        checks = {c.name: c for c in check_bench(data, DEFAULT_TOLERANCE)}
-        assert checks["campaign.wall_s"].ok
+        data = {"format": 2, "entries": [
+            _entry("a", campaign={"wall_s": 1.0}),
+            _entry("b", campaign={"wall_s": 99.0},
+                   campaign_parallel={"wall_s": 1.05}),
+        ]}
+        (check,) = check_bench(data, DEFAULT_TOLERANCE)
+        assert check.name == "campaign.wall_s"
+        assert check.current == 1.05
+        assert check.ok
 
-    def test_missing_entries_raise(self):
+    def test_tolerates_entries_missing_sections(self):
+        """A 1-CPU host's entry without campaign_parallel, or a
+        scaling-only entry, must not break the other checks."""
+        data = {"format": 2, "entries": [
+            _entry("a", engine={"msgs_per_sec": 100.0},
+                   campaign={"wall_s": 1.0},
+                   campaign_parallel={"wall_s": 0.5}),
+            _entry("b", engine={"msgs_per_sec": 101.0},
+                   campaign={"wall_s": 0.49}),
+            _entry("scaling", scaling={
+                "workload": "ring", "budget": 1024,
+                "points": [{"p": 8, "msgs_per_sec": 50.0}],
+            }),
+        ]}
+        checks = {c.name: c for c in check_bench(data, DEFAULT_TOLERANCE)}
+        # Engine and campaign still gate (latest entry carrying each),
+        # scaling has no prior point yet so no scaling check appears.
+        assert set(checks) == {"engine.msgs_per_sec", "campaign.wall_s"}
+        assert checks["campaign.wall_s"].baseline == 0.5
+        assert checks["campaign.wall_s"].current == 0.49
+
+    def test_scaling_points_gate_per_p(self):
+        section = {"workload": "ring", "budget": 1024}
+        data = {"format": 2, "entries": [
+            _entry("s1", scaling={**section, "points": [
+                {"p": 8, "msgs_per_sec": 100.0},
+                {"p": 32, "msgs_per_sec": 60.0},
+            ]}),
+            _entry("s2", scaling={**section, "points": [
+                {"p": 8, "msgs_per_sec": 99.0},
+                {"p": 32, "msgs_per_sec": 30.0},
+            ]}),
+        ]}
+        checks = check_bench(data, DEFAULT_TOLERANCE)
+        by_name = {c.name: c for c in checks}
+        assert by_name["scaling[ring/1024,p=8].msgs_per_sec"].ok
+        assert not by_name["scaling[ring/1024,p=32].msgs_per_sec"].ok
+
+    def test_mismatched_scaling_configs_never_compare(self):
+        data = {"format": 2, "entries": [
+            _entry("s1", scaling={"workload": "ring", "budget": 1024,
+                                  "points": [{"p": 8,
+                                              "msgs_per_sec": 100.0}]}),
+            _entry("s2", scaling={"workload": "ring", "budget": 64,
+                                  "points": [{"p": 8,
+                                              "msgs_per_sec": 10.0}]}),
+        ]}
+        # Different budgets -> no comparable metric at all.
+        assert check_bench(data, DEFAULT_TOLERANCE) == []
+
+    def test_single_entry_raises(self):
+        with pytest.raises(KeyError):
+            check_bench(
+                {"format": 2, "entries": [_entry("only")]},
+                DEFAULT_TOLERANCE,
+            )
+
+    def test_empty_raises(self):
         with pytest.raises(KeyError):
             check_bench({"entries": {}}, DEFAULT_TOLERANCE)
 
@@ -66,26 +173,35 @@ class TestCli:
         assert "ok" in capsys.readouterr().out
 
     def test_doctored_drop_exits_one(self, tmp_path, capsys):
-        data = copy.deepcopy(_bench_data())
-        data["entries"]["current"]["engine"]["msgs_per_sec"] *= 0.5
+        data = copy.deepcopy(upgrade_bench(_bench_data()))
+        for entry in data["entries"]:
+            if entry.get("engine"):
+                last = entry
+        last["engine"]["msgs_per_sec"] *= 0.5
+        data["entries"].append(data["entries"].pop(
+            data["entries"].index(last)
+        ))
         assert main(["--file", _write(tmp_path, data)]) == 1
         assert "REGRESSION" in capsys.readouterr().out
 
     def test_soft_fail_masks_regression(self, tmp_path):
-        data = copy.deepcopy(_bench_data())
-        data["entries"]["current"]["engine"]["msgs_per_sec"] *= 0.5
+        data = {"format": 2, "entries": [
+            _entry("a", engine={"msgs_per_sec": 100.0}),
+            _entry("b", engine={"msgs_per_sec": 10.0}),
+        ]}
         assert main(["--file", _write(tmp_path, data), "--soft-fail"]) == 0
 
-    def test_missing_entries_exit_two(self, tmp_path, capsys):
+    def test_missing_entries_exit_two(self, tmp_path):
         assert main(["--file", _write(tmp_path, {"entries": {}})]) == 2
         assert main(
             ["--file", _write(tmp_path, {"entries": {}}), "--soft-fail"]
         ) == 0
 
     def test_tighter_tolerance_flags_small_drop(self, tmp_path):
-        data = copy.deepcopy(_bench_data())
-        base = data["entries"]["baseline"]["engine"]["msgs_per_sec"]
-        data["entries"]["current"]["engine"]["msgs_per_sec"] = base * 0.95
+        data = {"format": 2, "entries": [
+            _entry("a", engine={"msgs_per_sec": 100.0}),
+            _entry("b", engine={"msgs_per_sec": 95.0}),
+        ]}
         path = _write(tmp_path, data)
         assert main(["--file", path]) == 0  # within default 15%
         assert main(["--file", path, "--tolerance", "0.02"]) == 1

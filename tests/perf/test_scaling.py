@@ -1,0 +1,100 @@
+"""Scaling probe: sweep structure, determinism, trajectory round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.harness import load_bench
+from repro.perf.regress import DEFAULT_TOLERANCE, check_bench
+from repro.perf.scaling import main, probe_point, scaling_probe
+
+# Tiny sweep: keeps the whole module in CI-smoke territory.
+TINY_P = (8, 16)
+TINY_BUDGET = 512
+
+
+class TestProbePoint:
+    @pytest.fixture(scope="class")
+    def point(self) -> dict:
+        return probe_point(8, budget=TINY_BUDGET, seed=0, zones=True)
+
+    def test_throughput_fields(self, point):
+        assert point["p"] == 8
+        assert point["workload"] == "ring"
+        assert point["messages"] > 0
+        assert point["msgs_per_sec"] > 0
+        assert point["events_processed"] >= point["messages"]
+        assert point["max_queue_depth"] >= 1
+
+    def test_zone_breakdown_attached(self, point):
+        zones = point["zones"]
+        assert zones["total_ns"] > 0
+        assert any(
+            path.endswith("engine.run") for path in zones["zones"]
+        )
+
+    def test_rank_count_must_fit_nodes(self):
+        with pytest.raises(ValueError):
+            probe_point(6, budget=TINY_BUDGET)
+
+    def test_fig3_workload_runs(self):
+        point = probe_point(
+            8, workload="fig3", budget=TINY_BUDGET, seed=0, zones=False
+        )
+        assert point["workload"] == "fig3"
+        assert point["label"].startswith("hca")
+        assert point["messages"] > 0
+
+    def test_profiled_run_is_bit_identical(self):
+        """zones=True reruns the workload; same seed -> same counts."""
+        a = probe_point(8, budget=TINY_BUDGET, seed=0, zones=False)
+        b = probe_point(8, budget=TINY_BUDGET, seed=0, zones=True)
+        assert a["messages"] == b["messages"]
+        assert a["events_processed"] == b["events_processed"]
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        section = scaling_probe(
+            p_values=TINY_P, budget=TINY_BUDGET, zones=False
+        )
+        assert section["workload"] == "ring"
+        assert section["budget"] == TINY_BUDGET
+        assert [pt["p"] for pt in section["points"]] == list(TINY_P)
+
+    def test_budget_splits_rounds(self):
+        section = scaling_probe(
+            p_values=TINY_P, budget=TINY_BUDGET, zones=False
+        )
+        for pt in section["points"]:
+            assert pt["nrounds"] == max(4, TINY_BUDGET // pt["p"])
+
+
+class TestTrajectoryRoundTrip:
+    def test_record_then_regress(self, tmp_path, capsys):
+        """Two recorded sweeps gate per-p through the extended regress."""
+        bench = str(tmp_path / "bench.json")
+        for _ in range(2):
+            assert main([
+                "--p", "8", "--budget", str(TINY_BUDGET), "--no-zones",
+                "--record", "scaling", "--output", bench,
+            ]) == 0
+        capsys.readouterr()
+        data = load_bench(bench)
+        assert [e["label"] for e in data["entries"]] == [
+            "scaling", "scaling"
+        ]
+        checks = check_bench(data, tolerance=DEFAULT_TOLERANCE)
+        assert [c.name for c in checks] == [
+            f"scaling[ring/{TINY_BUDGET},p=8].msgs_per_sec"
+        ]
+
+    def test_json_output(self, capsys):
+        assert main([
+            "--p", "8", "--budget", str(TINY_BUDGET), "--no-zones",
+            "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["points"][0]["p"] == 8

@@ -284,9 +284,14 @@ class TestStats:
             "rendezvous_stalls": 0,
             "max_mailbox_depth": stats["max_mailbox_depth"],
             "gate_deferrals": stats["gate_deferrals"],
+            "events_processed": stats["events_processed"],
+            "max_queue_depth": stats["max_queue_depth"],
         }
         assert stats["max_mailbox_depth"] >= 0
         assert stats["gate_deferrals"] >= 0
+        # Every delivery and wakeup pops the heap at least once.
+        assert stats["events_processed"] >= stats["messages_delivered"]
+        assert stats["max_queue_depth"] >= 1
 
     def test_unreceived_messages_counted(self):
         """Fire-and-forget sends end up in messages_unreceived."""

@@ -199,6 +199,15 @@ def run_record(args) -> int:
     print(f"  {campaign['wall_s']:.2f}s for {campaign['nruns']} runs")
     entry = {"engine": engine, "campaign": campaign,
              "tree": "current" if HAVE_PERF_PKG else "fallback"}
+    if HAVE_PERF_PKG and args.service:
+        from repro.perf import service_benchmark
+
+        print(f"[{args.record}] clock service ({scale}) ...", flush=True)
+        service = service_benchmark(scale=scale, seed=args.seed)
+        print(f"  {service['queries']} queries in "
+              f"{service['wall_s']:.3f}s -> "
+              f"{service['queries_per_sec']:,.0f} queries/s")
+        entry["service"] = service
     if HAVE_PERF_PKG and args.jobs and args.jobs != 1:
         print(f"[{args.record}] fig3 campaign ({scale}, "
               f"jobs={args.jobs}) ...", flush=True)
@@ -244,6 +253,9 @@ def main(argv=None) -> int:
                         help="attach a per-zone wall-time breakdown to "
                              "the engine entry (separate profiled run; "
                              "current tree only)")
+    parser.add_argument("--service", action="store_true",
+                        help="also time the clock service's serving hot "
+                             "path (queries/s; current tree only)")
     parser.add_argument("--jobs", type=int, default=4,
                         help="also time the campaign with this many "
                              "worker processes (current tree only)")

@@ -61,6 +61,7 @@ from repro.experiments import (
     fig8_imbalance,
     fig9_roundtime,
     fig10_tracing,
+    service_slo,
     table1_machines,
 )
 from repro.faults.scenarios import SCENARIOS
@@ -86,6 +87,13 @@ def _run_fault_recovery(scale: str, seed: int, jobs: int | None) -> str:
     )
 
 
+def _run_service_slo(scale: str, seed: int, jobs: int | None) -> str:
+    # service_slo also honours --slo; main() threads it through.
+    return service_slo.format_result(
+        service_slo.run(scale=scale, seed=seed, jobs=jobs)
+    )
+
+
 def _simple(module, parallel: bool = False):
     def runner(scale: str, seed: int, jobs: int | None) -> str:
         kwargs = {"jobs": jobs} if parallel else {}
@@ -100,6 +108,7 @@ TARGETS = {
     "table1": _run_table1,
     "fig2": _run_fig2,
     "fault_recovery": _run_fault_recovery,
+    "service_slo": _run_service_slo,
     # Campaign-based targets fan individual mpiruns out over --jobs
     # worker processes; results are bit-identical to --jobs 1.
     "fig3": _simple(fig3_flat_algorithms, parallel=True),
@@ -182,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCENARIOS),
         help="fault scenario for the fault_recovery target",
     )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=service_slo.DEFAULT_SLO,
+        metavar="SECONDS",
+        help="clock-error SLO for the service_slo target "
+             f"(default {service_slo.DEFAULT_SLO:g}s)",
+    )
     return parser
 
 
@@ -228,6 +245,7 @@ def _write_health_report(
             "scenario": (
                 args.scenario if "fault_recovery" in targets else None
             ),
+            "slo": args.slo if "service_slo" in targets else None,
         },
     )
     json_path, html_path = write_report(report, out_dir)
@@ -272,6 +290,11 @@ def main(argv: list[str] | None = None) -> int:
                 output = fault_recovery.format_result(fault_recovery.run(
                     scale=args.scale, seed=args.seed,
                     scenario=args.scenario, jobs=args.jobs,
+                ))
+            elif name == "service_slo":
+                output = service_slo.format_result(service_slo.run(
+                    scale=args.scale, seed=args.seed,
+                    jobs=args.jobs, slo=args.slo,
                 ))
             else:
                 output = TARGETS[name](args.scale, args.seed, args.jobs)

@@ -4,7 +4,8 @@
 pipelines need built-in validity checks; this module is ours.  Four
 detectors scan the ``clock.error*`` series of a
 :class:`~repro.obs.timeseries.TimeSeriesBank` (per-rank estimated-vs-true
-global-clock error, sampled by the campaign/recovery harnesses):
+global-clock error, sampled by the campaign/recovery harnesses), and a
+fifth scans the service layer's stale-read-rate series:
 
 * **drift excursion** — the error slope between consecutive resync
   markers exceeds a threshold: the linear clock model is degrading
@@ -19,6 +20,10 @@ global-clock error, sampled by the campaign/recovery harnesses):
   either the estimator froze or the sampling pipeline died.  (Constant
   *zero* is exact agreement — shared time-source domains produce it
   legitimately — and is not flagged.)
+* **stale read** — the clock service's ``service.stale_rate`` series
+  (fraction of responses whose error bound exceeded the SLO) stays out
+  of tolerance for a sustained window: the resync policy is losing
+  against the drift.
 
 Everything is pure ``math`` over retained points (no numpy), so verdicts
 are bit-deterministic and goldenable; ``to_dict`` rounds floats to 12
@@ -36,6 +41,8 @@ SEVERITIES = ("info", "warning", "critical")
 
 #: Metric (unscoped) name prefix of the error series detectors scan.
 ERROR_METRIC = "clock.error"
+#: Metric (unscoped) name of the service stale-read-rate series.
+STALE_METRIC = "service.stale_rate"
 #: Marker metric names the detectors correlate against.
 RESYNC_MARKER = "resync"
 FAULT_MARKER = "fault"
@@ -62,6 +69,13 @@ class HealthThresholds:
     stuck_min_points: int = 8
     #: Minimum span (s) of the identical run.
     stuck_span: float = 2.0
+    #: Stale-read rate (fraction of responses whose error bound exceeds
+    #: the SLO) above this is out of tolerance.
+    stale_rate_tolerance: float = 0.01
+    #: Seconds the rate must stay out of tolerance before a finding.
+    stale_window: float = 2.0
+    #: Rate at which a stale-read finding escalates to critical.
+    stale_rate_critical: float = 0.25
 
 
 @dataclass(frozen=True)
@@ -346,12 +360,69 @@ def detect_stuck_clocks(
     return findings
 
 
+def _stale_series(bank: TimeSeriesBank):
+    """All ``service.stale_rate`` series, in deterministic bank order."""
+    return [
+        series
+        for (name, _), series in bank.items()
+        if split_scope(name)[1] == STALE_METRIC and len(series) >= 2
+    ]
+
+
+def detect_stale_reads(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """Service stale-read rate out of tolerance for a sustained window.
+
+    The service driver samples the fraction of responses per reporting
+    interval whose error bound exceeded the SLO.  A brief spike right
+    before a resync lands is expected (that is the policy working at
+    its margin); a *sustained* run above tolerance means the resync
+    policy is losing against the drift — warning, escalating to
+    critical when the rate says most reads are stale.
+    """
+    th = th or HealthThresholds()
+    findings = []
+    for series in _stale_series(bank):
+        run: list[tuple[float, float]] = []
+        for point in series.points + [(float("inf"), 0.0)]:
+            if point[1] > th.stale_rate_tolerance:
+                run.append(point)
+                continue
+            if run:
+                span = run[-1][0] - run[0][0]
+                if span >= th.stale_window:
+                    peak = max(v for _, v in run)
+                    severity = (
+                        "critical" if peak >= th.stale_rate_critical
+                        else "warning"
+                    )
+                    findings.append(HealthFinding(
+                        detector="stale_read",
+                        severity=severity,
+                        series=series.name,
+                        rank=series.rank,
+                        start=run[0][0],
+                        end=run[-1][0],
+                        value=peak,
+                        threshold=th.stale_rate_tolerance,
+                        message=(
+                            f"stale-read rate peaked at {peak:.3g}, above "
+                            f"{th.stale_rate_tolerance:.3g} for {span:.3g}s "
+                            f"(window {th.stale_window:g}s)"
+                        ),
+                    ))
+                run = []
+    return findings
+
+
 #: The full detector sweep, in report order.
 DETECTORS = (
     ("drift_excursion", detect_drift_excursions),
     ("desync_breach", detect_desync_breaches),
     ("resync_latency", detect_resync_latency),
     ("stuck_clock", detect_stuck_clocks),
+    ("stale_read", detect_stale_reads),
 )
 
 

@@ -109,6 +109,29 @@ class Histogram:
             self.max_value = value
         self._offer(value)
 
+    def observe_many(self, values) -> None:
+        """Observe a batch (numpy array or sequence) of values.
+
+        The reservoir consumes values one at a time in order, so the
+        retained sample buffer — and therefore every quantile — is
+        bit-identical to a loop of :meth:`observe` calls over the same
+        sequence.  The scalar summary is folded batch-wise (``fsum`` for
+        the total), which is exact rather than order-accumulated.
+        """
+        values = [float(v) for v in values]
+        if not values:
+            return
+        self.count += len(values)
+        self.total += math.fsum(values)
+        lo = min(values)
+        hi = max(values)
+        if lo < self.min_value:
+            self.min_value = lo
+        if hi > self.max_value:
+            self.max_value = hi
+        for value in values:
+            self._offer(value)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -246,6 +269,7 @@ class MetricsRegistry:
                 "max": h.max_value if h.count else 0.0,
                 "p50": h.quantile(0.5),
                 "p99": h.quantile(0.99),
+                "p999": h.quantile(0.999),
             }
         return out
 

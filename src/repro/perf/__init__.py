@@ -18,6 +18,7 @@ from repro.perf.harness import (
     load_bench,
     record_bench,
     ring_machine,
+    service_benchmark,
     speedup,
     upgrade_bench,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "load_bench",
     "record_bench",
     "ring_machine",
+    "service_benchmark",
     "speedup",
     "upgrade_bench",
 ]

@@ -15,6 +15,11 @@ engine/campaign numbers in a scaling-only entry):
 * ``campaign.wall_s`` — latest higher than the best (min) prior by
   > tolerance fails, each side using its *fastest* recorded
   configuration (serial or parallel);
+* ``service.queries_per_sec`` — clock-service serving throughput
+  (``repro.perf.harness.service_benchmark``), latest lower than the
+  best prior by > tolerance fails; entries without a ``service``
+  section (every entry recorded before the service layer existed) are
+  simply not part of this check;
 * ``scaling[<workload>/<budget>,p=N].msgs_per_sec`` — one check per
   rank count recorded by ``python -m repro.perf.scaling``, latest vs
   best prior at the same workload, budget and ``p`` (sweeps of
@@ -60,7 +65,7 @@ class RegressionCheck:
         return self.regression <= self.tolerance
 
     def describe(self) -> str:
-        direction = "drop" if self.name.endswith("msgs_per_sec") else "rise"
+        direction = "drop" if self.name.endswith("_per_sec") else "rise"
         verdict = "ok" if self.ok else "REGRESSION"
         return (
             f"{self.name}: best prior {self.baseline:g} -> latest "
@@ -127,6 +132,20 @@ def check_bench(
             baseline=b_rate,
             current=rates[-1],
             regression=1.0 - rates[-1] / b_rate,
+            tolerance=tolerance,
+        ))
+
+    service_rates = [
+        e["service"]["queries_per_sec"] for e in entries
+        if e.get("service", {}).get("queries_per_sec")
+    ]
+    if len(service_rates) >= 2:
+        b_rate = max(service_rates[:-1])
+        checks.append(RegressionCheck(
+            name="service.queries_per_sec",
+            baseline=b_rate,
+            current=service_rates[-1],
+            regression=1.0 - service_rates[-1] / b_rate,
             tolerance=tolerance,
         ))
 

@@ -1,0 +1,458 @@
+"""Service run driver: cluster + sync oracle + workload → measurements.
+
+One :func:`run_service` call is one policy's run: a simulated cluster of
+drifting hardware clocks, a sync oracle that fits per-rank linear models
+against the reference rank (the paper's offset-measurement + regression
+pipeline, evaluated through the simulator's clocks with deterministic
+measurement noise), a :class:`~repro.service.core.ClockService` serving
+a generated query stream, and a resync policy deciding when the models
+are refreshed.
+
+Everything is vectorized per epoch: the queries landing within one sync
+generation are answered through one batched model evaluation, their
+ground-truth errors are scored against the oracle clocks, and latencies
+come from the batching cost model over the full arrival sequence.  The
+run is a pure function of ``(policy, config, workload, seed)`` — no
+wall-clock value feeds any reported quantity except the ``wall_s``
+throughput figure, which never enters ``report.json``.
+
+Observability lands on the process-wide defaults (so the parallel
+executor's isolate-and-merge contract applies unchanged): latency and
+clock-error histograms plus service counters in the metrics registry,
+and per-interval ``service.stale_rate`` / ``clock.error`` /
+``service.error_bound`` series with ``resync`` markers in the telemetry
+bank — the series the ``stale_read`` health detector scans.
+
+Under an active sanitizer mode (``--check``), each epoch additionally
+validates the serving path: batch answers must be bit-identical to the
+scalar model arithmetic, and served global time must be monotone per
+rank.  Violations raise
+:class:`~repro.errors.InvariantViolation` immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from contextlib import nullcontext
+
+from repro.check.config import active_check_mode
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.obs.metrics import Histogram, get_default_metrics
+from repro.obs.timeseries import get_default_timeseries
+from repro.prof.core import get_default_profiler
+from repro.service.core import ClockService
+from repro.service.slo import ResyncPolicy
+from repro.service.workload import (
+    OP_COMPARE,
+    OP_NOW,
+    OP_TRANSLATE,
+    BatchingModel,
+    WorkloadSpec,
+    generate,
+)
+from repro.simtime.hardware import HardwareClock
+from repro.simtime.sources import CLOCK_GETTIME, TimeSourceSpec, make_node_clocks
+from repro.sync.linear_model import LinearDriftModel
+
+#: Default time source: drifty enough that a 20 s old model matters at a
+#: tens-of-microseconds SLO (between the package default and the resync
+#: tests' TWITCHY preset).
+SERVICE_TIME = CLOCK_GETTIME.with_(skew_walk_sigma=3e-7)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Cluster + sync-oracle + serving parameters of one run."""
+
+    num_ranks: int = 8
+    #: Target clock-error SLO the service reports staleness against.
+    slo: float = 25e-6
+    time_source: TimeSourceSpec = SERVICE_TIME
+    #: Span of the offset-measurement window each fit uses, seconds.
+    fit_window: float = 1.0
+    #: Offset measurements per fit.
+    fit_points: int = 24
+    #: Std-dev of per-measurement offset noise, seconds.
+    noise: float = 0.3e-6
+    #: Request batching cost model.
+    batching: BatchingModel = field(default_factory=BatchingModel)
+    #: Telemetry bucket width, seconds.
+    sample_interval: float = 1.0
+    #: Floor on the spacing between sync rounds (guards degenerate
+    #: policies from resyncing every batch).
+    min_resync_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 2:
+            raise ConfigurationError("num_ranks must be >= 2")
+        if self.slo <= 0.0:
+            raise ConfigurationError("slo must be > 0")
+        if self.fit_window <= 0.0 or self.fit_points < 2:
+            raise ConfigurationError(
+                "fit_window must be > 0 and fit_points >= 2"
+            )
+        if self.noise < 0.0:
+            raise ConfigurationError("noise must be >= 0")
+        if self.sample_interval <= 0.0 or self.min_resync_interval <= 0.0:
+            raise ConfigurationError(
+                "sample_interval/min_resync_interval must be > 0"
+            )
+
+
+class SimulatedCluster:
+    """Drifting per-rank clocks plus a model-fitting sync oracle.
+
+    Implements the service's ``ModelProvider`` surface.  ``sync(t)``
+    measures each rank's offset against the reference over the trailing
+    fit window (through the simulated clocks, with deterministic
+    Gaussian measurement noise) and fits the package's centred
+    least-squares :class:`LinearDriftModel` — the same regression the
+    MPI sync algorithms run, minus the message-exchange machinery the
+    serving path doesn't need.
+    """
+
+    def __init__(
+        self, config: ServiceConfig, seed: np.random.SeedSequence
+    ) -> None:
+        clock_seed, noise_seed = seed.spawn(2)
+        self.config = config
+        self.clocks: list[HardwareClock] = make_node_clocks(
+            config.num_ranks,
+            config.time_source,
+            np.random.default_rng(clock_seed),
+        )
+        self._noise_rng = np.random.default_rng(noise_seed)
+        self.ref_rank = 0
+        self.generation = -1
+        self.synced_at = float("-inf")
+        self.base_error = float("inf")
+        self._models: list[LinearDriftModel] = []
+
+    def models(self) -> Sequence[LinearDriftModel]:
+        return self._models
+
+    def drifts(self) -> tuple:
+        return tuple(clock.drift for clock in self.clocks)
+
+    def sync(self, t: float) -> None:
+        """Fit fresh per-rank models from measurements ending at ``t``."""
+        cfg = self.config
+        ts = np.linspace(t - cfg.fit_window, t, cfg.fit_points)
+        ref_readings = self.clocks[self.ref_rank].read_many(ts)
+        models: list[LinearDriftModel] = []
+        residual = 0.0
+        for rank, clock in enumerate(self.clocks):
+            if rank == self.ref_rank:
+                models.append(LinearDriftModel.ZERO)
+                continue
+            local = clock.read_many(ts)
+            noise = self._noise_rng.normal(0.0, cfg.noise, cfg.fit_points)
+            offsets = local - ref_readings + noise
+            model = LinearDriftModel.fit(local, offsets)
+            models.append(model)
+            pred = model.slope * local + model.intercept
+            residual = max(residual, float(np.abs(offsets - pred).max()))
+        self._models = models
+        self.generation += 1
+        self.synced_at = float(t)
+        self.base_error = residual + self.clocks[self.ref_rank].granularity
+
+
+@dataclass(frozen=True)
+class ServicePolicyResult:
+    """One (policy, workload) run's headline numbers (picklable)."""
+
+    policy: str
+    workload: str
+    slo: float
+    num_ranks: int
+    duration: float
+    queries: int
+    syncs: int
+    stale_reads: int
+    stale_rate: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_ratio: float
+    latency_p50: float
+    latency_p99: float
+    latency_p999: float
+    latency_mean: float
+    clock_error_p50: float
+    clock_error_p99: float
+    clock_error_max: float
+    #: True when the p99 served clock error stayed under the SLO.
+    slo_met: bool
+    #: Simulated-time throughput (queries per simulated second).
+    sim_qps: float
+    #: Host wall time of the serving loop (volatile — stdout only).
+    wall_s: float
+
+
+def _reads(
+    clocks: Sequence[HardwareClock],
+    ranks: np.ndarray,
+    times: np.ndarray,
+    raw: bool = False,
+) -> np.ndarray:
+    """Per-query clock readings, grouped by rank for batch evaluation."""
+    out = np.empty(times.size, dtype=np.float64)
+    for rank in np.unique(ranks):
+        mask = ranks == rank
+        clock = clocks[int(rank)]
+        out[mask] = (
+            clock.read_raw_many(times[mask]) if raw
+            else clock.read_many(times[mask])
+        )
+    return out
+
+
+def _check_epoch(
+    service: ClockService,
+    ops: np.ndarray,
+    ranks: np.ndarray,
+    ranks2: np.ndarray,
+    readings: np.ndarray,
+    values: np.ndarray,
+    nsample: int = 8,
+) -> None:
+    """Sanitizer pass: batch answers == scalar model arithmetic."""
+    epoch = service.epoch()
+    for i in range(min(nsample, values.size)):
+        op = int(ops[i])
+        if op == OP_NOW:
+            expect = epoch.model_for(int(ranks[i])).apply(
+                float(readings[i])
+            )
+        elif op == OP_TRANSLATE:
+            ref = epoch.model_for(int(ranks[i])).apply(float(readings[i]))
+            expect = epoch.model_for(int(ranks2[i])).apply_inverse(ref)
+        else:
+            continue  # compare checked via its components above
+        if expect != values[i]:
+            raise InvariantViolation(
+                f"service batch answer diverged from scalar model: "
+                f"op={op} rank={ranks[i]} expected {expect!r} "
+                f"got {values[i]!r}"
+            )
+    now_mask = ops == OP_NOW
+    for rank in np.unique(ranks[now_mask]):
+        served = values[now_mask & (ranks == rank)]
+        if served.size >= 2 and np.any(np.diff(served) < 0.0):
+            raise InvariantViolation(
+                f"served global time is not monotone on rank {rank}"
+            )
+
+
+def run_service(
+    policy: ResyncPolicy,
+    workload: WorkloadSpec,
+    config: ServiceConfig | None = None,
+    seed: int = 0,
+) -> ServicePolicyResult:
+    """Run one policy against one workload; score errors and latencies."""
+    config = config or ServiceConfig()
+    root = np.random.SeedSequence(seed)
+    cluster_seed, workload_seed = root.spawn(2)
+    cluster = SimulatedCluster(config, cluster_seed)
+    stream = generate(
+        workload, config.num_ranks, workload_seed, config.batching
+    )
+    # Serving starts after the first fit window has history to fit on.
+    t_start = config.fit_window
+    times = stream.times + t_start
+    t_end = t_start + workload.duration
+    check_mode = active_check_mode()
+
+    metrics = get_default_metrics()
+    bank = get_default_timeseries()
+    profiler = get_default_profiler()
+
+    def zone(name: str):
+        return profiler.zone(name) if profiler is not None else nullcontext()
+
+    latency_hist = (
+        metrics.histogram("service.latency") if metrics is not None
+        else Histogram()
+    )
+    error_hist = (
+        metrics.histogram("service.clock_error") if metrics is not None
+        else Histogram()
+    )
+
+    wall_t0 = time.perf_counter()
+    with zone("service.sync"):
+        cluster.sync(t_start)
+    service = ClockService(cluster, config.slo)
+
+    with zone("service.batching"):
+        done, _sizes = config.batching.respond(times)
+    latencies = done - times
+    errors = np.empty(times.size, dtype=np.float64)
+    bounds = np.empty(times.size, dtype=np.float64)
+    stale = np.empty(times.size, dtype=bool)
+
+    start = 0
+    syncs = 1
+    while start < times.size:
+        epoch = service.epoch()
+        t_next = max(
+            policy.next_resync(epoch),
+            epoch.synced_at + config.min_resync_interval,
+        )
+        stop = int(np.searchsorted(times, min(t_next, t_end), side="left"))
+        seg = slice(start, stop)
+        if stop > start:
+            seg_t0 = time.perf_counter_ns()
+            seg_times = times[seg]
+            seg_ops = stream.ops[seg]
+            seg_ranks = stream.ranks[seg]
+            seg_ranks2 = stream.ranks2[seg]
+            readings = _reads(cluster.clocks, seg_ranks, seg_times)
+            seg_values = np.empty(seg_times.size, dtype=np.float64)
+            seg_errors = np.empty(seg_times.size, dtype=np.float64)
+            seg_bounds = np.empty(seg_times.size, dtype=np.float64)
+            seg_stale = np.empty(seg_times.size, dtype=bool)
+
+            m = seg_ops == OP_NOW
+            if m.any():
+                values, bnd, stl = service.now_batch(
+                    seg_ranks[m], readings[m], seg_times[m]
+                )
+                truth = cluster.clocks[cluster.ref_rank].read_raw_many(
+                    seg_times[m]
+                )
+                seg_values[m] = values
+                seg_errors[m] = values - truth
+                seg_bounds[m] = bnd
+                seg_stale[m] = stl
+
+            m = seg_ops == OP_TRANSLATE
+            if m.any():
+                values, bnd, stl = service.translate_batch(
+                    readings[m], seg_ranks[m], seg_ranks2[m], seg_times[m]
+                )
+                truth = _reads(
+                    cluster.clocks, seg_ranks2[m], seg_times[m], raw=True
+                )
+                seg_values[m] = values
+                seg_errors[m] = values - truth
+                seg_bounds[m] = bnd
+                seg_stale[m] = stl
+
+            m = seg_ops == OP_COMPARE
+            if m.any():
+                readings_b = _reads(
+                    cluster.clocks, seg_ranks2[m], seg_times[m]
+                )
+                values, bnd, stl = service.compare_batch(
+                    seg_ranks[m], readings[m],
+                    seg_ranks2[m], readings_b, seg_times[m],
+                )
+                # Both events happen at the same true instant, so the
+                # ground-truth delta is identically zero.
+                seg_values[m] = values
+                seg_errors[m] = values
+                seg_bounds[m] = bnd
+                seg_stale[m] = stl
+
+            if check_mode is not None:
+                _check_epoch(
+                    service, seg_ops, seg_ranks, seg_ranks2,
+                    readings, seg_values,
+                )
+
+            errors[seg] = seg_errors
+            bounds[seg] = seg_bounds
+            stale[seg] = seg_stale
+            if profiler is not None:
+                profiler.add(
+                    "service.serve",
+                    time.perf_counter_ns() - seg_t0,
+                    count=seg_times.size,
+                )
+        start = stop
+        if t_next >= t_end:
+            break
+        with zone("service.sync"):
+            cluster.sync(t_next)
+        syncs += 1
+        if profiler is not None:
+            profiler.tick("service.resyncs")
+        if bank is not None:
+            bank.mark("resync", t_next, f"gen{cluster.generation}")
+
+    latency_hist.observe_many(latencies)
+    error_hist.observe_many(np.abs(errors))
+    wall_s = time.perf_counter() - wall_t0
+
+    # ------------------------------------------------------------------
+    # Telemetry + metrics
+    # ------------------------------------------------------------------
+    stats = service.stats
+    if metrics is not None:
+        metrics.counter("service.queries").inc(stats.queries)
+        metrics.counter("service.stale_reads").inc(stats.stale_served)
+        metrics.counter("service.cache.hits").inc(stats.epoch_hits)
+        metrics.counter("service.cache.misses").inc(stats.epoch_misses)
+        metrics.counter("service.resyncs").inc(syncs)
+    if bank is not None and times.size:
+        buckets = np.floor(times / config.sample_interval).astype(np.int64)
+        base = int(buckets.min())
+        counts = np.bincount(buckets - base)
+        stale_counts = np.bincount(
+            buckets - base, weights=stale.astype(np.float64)
+        )
+        err_abs = np.abs(errors)
+        for b in range(counts.size):
+            if counts[b] == 0:
+                continue
+            t_b = (base + b + 1) * config.sample_interval
+            in_bucket = buckets - base == b
+            bank.sample(
+                "service.stale_rate", t_b,
+                float(stale_counts[b] / counts[b]),
+            )
+            bank.sample(
+                "clock.error", t_b, float(err_abs[in_bucket].max())
+            )
+            bank.sample(
+                "service.error_bound", t_b,
+                float(bounds[in_bucket].max()),
+            )
+
+    err_abs = np.abs(errors)
+    quantile = (
+        lambda a, q: float(np.quantile(a, q)) if a.size else 0.0
+    )
+    return ServicePolicyResult(
+        policy=policy.label(),
+        workload=workload.label(),
+        slo=config.slo,
+        num_ranks=config.num_ranks,
+        duration=workload.duration,
+        queries=int(times.size),
+        syncs=syncs,
+        stale_reads=stats.stale_served,
+        stale_rate=stats.stale_rate(),
+        cache_hits=stats.epoch_hits,
+        cache_misses=stats.epoch_misses,
+        cache_hit_ratio=stats.cache_hit_ratio(),
+        latency_p50=latency_hist.quantile(0.5),
+        latency_p99=latency_hist.quantile(0.99),
+        latency_p999=latency_hist.quantile(0.999),
+        latency_mean=latency_hist.mean,
+        clock_error_p50=quantile(err_abs, 0.5),
+        clock_error_p99=quantile(err_abs, 0.99),
+        clock_error_max=float(err_abs.max()) if err_abs.size else 0.0,
+        slo_met=bool(
+            err_abs.size and quantile(err_abs, 0.99) <= config.slo
+        ),
+        sim_qps=times.size / workload.duration,
+        wall_s=wall_s,
+    )

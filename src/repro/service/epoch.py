@@ -1,0 +1,165 @@
+"""Compiled model epochs: one sync generation, frozen for serving.
+
+A :class:`ModelEpoch` is the service layer's unit of cache: the per-rank
+linear clock models produced by one sync round, compiled into flat numpy
+arrays so a burst of queries against the same generation costs one
+vectorized model evaluation instead of per-query Python dispatch.
+
+The vectorized evaluators reproduce the scalar
+:class:`~repro.sync.linear_model.LinearDriftModel` arithmetic in the same
+IEEE-754 operation order (``t - (slope * t + intercept)``), so a batched
+answer is bit-identical to the scalar one — the property
+``tests/properties/test_property_service.py`` pins.
+
+Per-response staleness comes from the paper's accuracy analysis
+(:func:`repro.analysis.accuracy.error_bound`): the bound starts at the
+fit's residual error and grows with model age at a rate set by each
+rank's drift family.  The reference rank serves its own readings, so its
+bound is identically zero; every other rank accumulates both its own and
+the reference oscillator's wander.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SyncError
+from repro.simtime.drift import DriftModel
+from repro.sync.linear_model import LinearDriftModel
+
+
+@dataclass(frozen=True, eq=False)
+class ModelEpoch:
+    """Per-rank clock models of one sync generation, serving-ready."""
+
+    #: Monotonically increasing sync-round counter (cache key).
+    generation: int
+    #: True time the models were fitted (age reference for staleness).
+    synced_at: float
+    #: Per-rank ``offset(t) = slope * t + intercept`` model coefficients
+    #: (client minus reference, the package-wide sign convention).
+    slopes: np.ndarray
+    intercepts: np.ndarray
+    #: Per-rank drift families (``DriftModel`` or plain rate in s/s) the
+    #: staleness bounds are derived from.
+    drifts: tuple
+    #: Residual/measurement error of the fit itself (seconds).
+    base_error: float = 0.0
+    #: Rank whose clock defines reference time (its model is identity).
+    ref_rank: int = 0
+    #: Per-rank ``1 + |slope|`` error-scale factors (precompiled).
+    _scale: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        slopes = np.asarray(self.slopes, dtype=np.float64)
+        intercepts = np.asarray(self.intercepts, dtype=np.float64)
+        if slopes.shape != intercepts.shape or slopes.ndim != 1:
+            raise SyncError("slopes/intercepts must be equal-length 1-D")
+        if len(self.drifts) != slopes.size:
+            raise SyncError("need one drift entry per rank")
+        if np.any(np.abs(1.0 - slopes) < 1e-9):
+            raise SyncError("a model with slope ~1 is not invertible")
+        object.__setattr__(self, "slopes", slopes)
+        object.__setattr__(self, "intercepts", intercepts)
+        object.__setattr__(self, "_scale", 1.0 + np.abs(slopes))
+
+    @property
+    def num_ranks(self) -> int:
+        return self.slopes.size
+
+    def model_for(self, rank: int) -> LinearDriftModel:
+        """The scalar model of one rank (the uncached reference path)."""
+        return LinearDriftModel(
+            slope=float(self.slopes[rank]),
+            intercept=float(self.intercepts[rank]),
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized model evaluation
+    # ------------------------------------------------------------------
+    def global_of(
+        self, ranks: np.ndarray, readings: np.ndarray
+    ) -> np.ndarray:
+        """Batch ``LinearDriftModel.apply``: local readings → global time.
+
+        Same operation order as the scalar ``t - (slope * t + intercept)``,
+        so each element is bit-identical to ``model_for(rank).apply(t)``.
+        """
+        readings = np.asarray(readings, dtype=np.float64)
+        slopes = self.slopes[ranks]
+        intercepts = self.intercepts[ranks]
+        return readings - (slopes * readings + intercepts)
+
+    def local_of(
+        self, ranks: np.ndarray, reference_times: np.ndarray
+    ) -> np.ndarray:
+        """Batch ``apply_inverse``: global time → local reading per rank."""
+        reference_times = np.asarray(reference_times, dtype=np.float64)
+        return (
+            (reference_times + self.intercepts[ranks])
+            / (1.0 - self.slopes[ranks])
+        )
+
+    # ------------------------------------------------------------------
+    # Staleness bounds
+    # ------------------------------------------------------------------
+    def _growth(self, rank: int, ages: np.ndarray) -> np.ndarray:
+        drift = self.drifts[rank]
+        if isinstance(drift, DriftModel):
+            return drift.error_growth_many(ages)
+        return abs(float(drift)) * np.clip(ages, 0.0, None)
+
+    def bounds_for(
+        self, ranks: np.ndarray, ages: np.ndarray
+    ) -> np.ndarray:
+        """Per-query worst-case error of ``global_of`` at the given ages.
+
+        Non-reference ranks accumulate their own *and* the reference
+        oscillator's wander (the fitted slope only froze their relative
+        rate at sync time); the reference rank serves its own readings,
+        which cannot go stale.
+        """
+        ranks = np.asarray(ranks)
+        ages = np.asarray(ages, dtype=np.float64)
+        ref_growth = self._growth(self.ref_rank, ages)
+        bounds = np.zeros(ranks.shape, dtype=np.float64)
+        for rank in np.unique(ranks):
+            if rank == self.ref_rank:
+                continue
+            mask = ranks == rank
+            growth = self._growth(int(rank), ages[mask])
+            bounds[mask] = self.base_error + self._scale[rank] * (
+                growth + ref_growth[mask]
+            )
+        return bounds
+
+    def max_bound(self, age: float) -> float:
+        """Worst per-rank bound at one age (resync-policy decision input)."""
+        ranks = np.arange(self.num_ranks)
+        ages = np.full(self.num_ranks, float(age))
+        return float(self.bounds_for(ranks, ages).max())
+
+
+def compile_epoch(
+    generation: int,
+    synced_at: float,
+    models: Sequence[LinearDriftModel],
+    drifts: Sequence,
+    base_error: float = 0.0,
+    ref_rank: int = 0,
+) -> ModelEpoch:
+    """Flatten per-rank models into a serving-ready :class:`ModelEpoch`."""
+    return ModelEpoch(
+        generation=generation,
+        synced_at=synced_at,
+        slopes=np.array([m.slope for m in models], dtype=np.float64),
+        intercepts=np.array(
+            [m.intercept for m in models], dtype=np.float64
+        ),
+        drifts=tuple(drifts),
+        base_error=float(base_error),
+        ref_rank=ref_rank,
+    )

@@ -36,6 +36,41 @@ class DriftModel(abc.ABC):
         strictly increasing; realistic values are within ±1e-3.
         """
 
+    def excursion_bound(self) -> float:
+        """Upper bound on ``|skew(j) - skew(i)|`` over any two segments.
+
+        This is the residual *rate* error a clock model fitted at one
+        point in time can accumulate against later: after a perfect
+        slope correction, the estimate degrades at most this fast
+        (seconds of error per second of age).  Models without a known
+        bound return ``inf`` — consumers (staleness bounds, resync
+        policies) then fall back to always-stale behaviour rather than
+        claiming an accuracy they cannot guarantee.
+        """
+        return math.inf
+
+    def error_growth(self, age: float) -> float:
+        """Bound on accumulated clock error ``age`` seconds after a sync.
+
+        The integral of the skew deviation since the sync instant — the
+        paper's per-second accuracy degradation, generalized per drift
+        family.  The default integrates the worst case
+        (``excursion_bound() * age``); stochastic models override it
+        with a tighter high-confidence bound.
+        """
+        if age <= 0.0:
+            return 0.0
+        return self.excursion_bound() * age
+
+    def error_growth_many(self, ages: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`error_growth` over an array of ages.
+
+        The batch-serving layer calls this per response; overrides must
+        keep the same formula as their scalar ``error_growth``.
+        """
+        ages = np.clip(np.asarray(ages, dtype=np.float64), 0.0, None)
+        return self.excursion_bound() * ages
+
 
 class ConstantDrift(DriftModel):
     """A perfectly stable oscillator with a fixed skew.
@@ -54,6 +89,9 @@ class ConstantDrift(DriftModel):
         if index < 0:
             raise ValueError("segment index must be >= 0")
         return self.skew
+
+    def excursion_bound(self) -> float:
+        return 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ConstantDrift(skew={self.skew:g})"
@@ -114,6 +152,31 @@ class RandomWalkDrift(DriftModel):
             self._skews.append(self._reflect(self._skews[-1] + step))
         return self._skews[index]
 
+    def excursion_bound(self) -> float:
+        # The walk is reflected into initial_skew ± max_excursion, so two
+        # segments can differ by at most the full corridor width.
+        return 2.0 * self.max_excursion
+
+    def error_growth(self, age: float) -> float:
+        """3-sigma bound on the integrated walk, capped by the corridor.
+
+        The skew deviation after ``a`` segments is a random walk with
+        per-segment std ``sigma``; its time integral has std
+        ``sigma * a^1.5 / sqrt(3)`` (in seconds, at the package-default
+        1 s segments).  Three sigmas of that is a high-confidence bound,
+        and the reflecting corridor caps the worst case at
+        ``2 * max_excursion * a``.
+        """
+        if age <= 0.0:
+            return 0.0
+        walk = 3.0 * self.sigma * age ** 1.5 / math.sqrt(3.0)
+        return min(walk, self.excursion_bound() * age)
+
+    def error_growth_many(self, ages: np.ndarray) -> np.ndarray:
+        ages = np.clip(np.asarray(ages, dtype=np.float64), 0.0, None)
+        walk = 3.0 * self.sigma * ages ** 1.5 / math.sqrt(3.0)
+        return np.minimum(walk, self.excursion_bound() * ages)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RandomWalkDrift(initial_skew={self.initial_skew:g}, "
@@ -158,6 +221,10 @@ class SinusoidalDrift(DriftModel):
         return self.mean_skew + self.amplitude * math.sin(
             2.0 * math.pi * t / self.period + self.phase
         )
+
+    def excursion_bound(self) -> float:
+        # Peak-to-peak swing of the sinusoid.
+        return 2.0 * self.amplitude
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import bisect
 
+import numpy as np
+
 from repro.errors import ClockError
 from repro.simtime.base import Clock, quantize
 from repro.simtime.drift import ConstantDrift, DriftModel
@@ -96,6 +98,39 @@ class HardwareClock(Clock):
 
     def read(self, true_time: float) -> float:
         return quantize(self.read_raw(true_time), self._granularity)
+
+    def read_raw_many(self, true_times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read_raw` over an array of true times.
+
+        Bit-identical to a per-element scalar loop: both paths evaluate
+        ``local_at[i] + (1 + skew[i]) * (t - i * segment_length)`` in the
+        same IEEE-754 double operation order, so batch-serving layers can
+        cache and replay answers without drifting from the scalar clock.
+        """
+        t = np.asarray(true_times, dtype=np.float64)
+        if t.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if float(t.min()) < 0.0:
+            raise ClockError(
+                f"true time must be >= 0, got {float(t.min())}"
+            )
+        idx = (t / self.segment_length).astype(np.int64)
+        self._ensure_segments(int(idx.max()))
+        local_at = np.asarray(self._local_at, dtype=np.float64)[idx]
+        skews = np.asarray(self._skews, dtype=np.float64)[idx]
+        t0 = idx * self.segment_length
+        return local_at + (1.0 + skews) * (t - t0)
+
+    def read_many(self, true_times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read`: batch raw reads, then quantize.
+
+        ``floor(v / g) * g`` on a float64 array matches the scalar
+        :func:`~repro.simtime.base.quantize` bit for bit.
+        """
+        raw = self.read_raw_many(true_times)
+        if self._granularity <= 0.0:
+            return raw
+        return np.floor(raw / self._granularity) * self._granularity
 
     def invert(self, reading: float) -> float:
         """True time at which the (raw) local clock shows ``reading``."""

@@ -183,6 +183,15 @@ class ExcursionDrift(DriftModel):
     def skew_for_segment(self, index: int) -> float:
         return self.inner.skew_for_segment(index) + self._excursion(index)
 
+    def excursion_bound(self) -> float:
+        # Worst pair of segments: one at the inner model's extreme with
+        # every overlapping window pushing one way, the other at the
+        # opposite extreme with no window active.  Windows may overlap,
+        # so their deltas add.
+        return self.inner.excursion_bound() + 2.0 * sum(
+            abs(delta) for _s, _e, delta, _shape in self.windows
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ExcursionDrift(inner={self.inner!r}, "

@@ -22,6 +22,7 @@ from repro.obs.health import (
     detect_desync_breaches,
     detect_drift_excursions,
     detect_resync_latency,
+    detect_stale_reads,
     detect_stuck_clocks,
     evaluate_health,
 )
@@ -78,6 +79,21 @@ def _bank_stuck() -> TimeSeriesBank:
     return bank
 
 
+def _bank_stale() -> TimeSeriesBank:
+    # A service run where a mid-run drift episode pushes the stale-read
+    # rate out of tolerance for ~6 s (warning), with a one-sample blip
+    # at t=20 that the sustain window must ignore.  The second series
+    # crosses the critical rate.
+    bank = TimeSeriesBank()
+    for i in range(30):
+        t = float(i)
+        rate = 0.08 if 8 <= i <= 14 else (0.05 if i == 20 else 0.0)
+        bank.sample("service.stale_rate", t, rate)
+        crit = 0.6 if 8 <= i <= 14 else 0.0
+        bank.sample("service.stale_rate", t, crit, rank=1)
+    return bank
+
+
 def _findings(case: str) -> list[dict]:
     if case == "desync_breach":
         found = detect_desync_breaches(_bank_ntp_step(None))
@@ -87,12 +103,17 @@ def _findings(case: str) -> list[dict]:
         found = detect_drift_excursions(_bank_thermal())
     elif case == "stuck_clock":
         found = detect_stuck_clocks(_bank_stuck())
+    elif case == "stale_read":
+        found = detect_stale_reads(_bank_stale())
     else:  # pragma: no cover - test bookkeeping
         raise ValueError(case)
     return [f.to_dict() for f in found]
 
 
-CASES = ("desync_breach", "resync_latency", "drift_excursion", "stuck_clock")
+CASES = (
+    "desync_breach", "resync_latency", "drift_excursion", "stuck_clock",
+    "stale_read",
+)
 
 
 def _golden_path(case: str) -> str:
@@ -123,6 +144,9 @@ class TestGoldenFindings:
     def test_stuck_clock_golden(self):
         _assert_matches_golden("stuck_clock")
 
+    def test_stale_read_golden(self):
+        _assert_matches_golden("stale_read")
+
 
 class TestDetectorSemantics:
     def test_ntp_step_baseline_breaches_but_resync_recovers(self):
@@ -151,6 +175,17 @@ class TestDetectorSemantics:
         lax = HealthThresholds(stuck_min_points=100)
         assert detect_stuck_clocks(bank, strict)
         assert not detect_stuck_clocks(bank, lax)
+
+    def test_stale_read_severity_and_sustain_window(self):
+        found = detect_stale_reads(_bank_stale())
+        # The blip at t=20 spans 0 s: filtered by the sustain window.
+        assert len(found) == 2
+        by_rank = {f.rank: f for f in found}
+        assert by_rank[None].severity == "warning"
+        assert by_rank[1].severity == "critical"
+        # A lax tolerance silences the warning-level series.
+        lax = HealthThresholds(stale_rate_tolerance=0.1)
+        assert all(f.rank == 1 for f in detect_stale_reads(_bank_stale(), lax))
 
     def test_verdict_always_reports_all_detectors(self):
         verdict = evaluate_health(TimeSeriesBank())

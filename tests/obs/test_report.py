@@ -63,7 +63,7 @@ class TestReportIdentity:
         assert ranks == set(range(1, TINY.nprocs))
         assert set(report["health"]["detectors"]) == {
             "drift_excursion", "desync_breach",
-            "resync_latency", "stuck_clock",
+            "resync_latency", "stuck_clock", "stale_read",
         }
         assert "parallel.workers" not in report["metrics"]["gauges"]
 

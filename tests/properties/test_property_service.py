@@ -1,0 +1,99 @@
+"""Property tests for the clock service's caching contract.
+
+The service's two cache layers promise exactness, not approximation:
+
+* within one sync generation, a memoized (cached) ``translate`` answer
+  is **bit-identical** to the uncached scalar model arithmetic and to
+  the vectorized batch path;
+* a resync bumps the generation and must drop both caches — no answer
+  computed against the old models may ever be served afterwards.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.core import ClockService
+from repro.sync.linear_model import LinearDriftModel
+
+slopes = st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False)
+intercepts = st.floats(min_value=-1e2, max_value=1e2, allow_nan=False)
+readings = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+ages = st.floats(min_value=0.0, max_value=600.0, allow_nan=False)
+rates = st.floats(min_value=0.0, max_value=1e-4, allow_nan=False)
+
+
+def models(n):
+    return st.lists(
+        st.builds(LinearDriftModel, slope=slopes, intercept=intercepts),
+        min_size=n, max_size=n,
+    )
+
+
+class Provider:
+    def __init__(self, model_sets, drifts):
+        self._sets = list(model_sets)
+        self._drifts = tuple(drifts)
+        self.generation = 0
+        self.synced_at = 0.0
+        self.base_error = 1e-7
+        self.ref_rank = 0
+
+    def models(self):
+        return [LinearDriftModel.ZERO] + self._sets[self.generation]
+
+    def drifts(self):
+        return self._drifts
+
+    def resync(self):
+        self.generation += 1
+        self.synced_at += 1.0
+
+
+class TestCachedTranslate:
+    @given(ms=models(2), t=readings, age=ages, r1=rates, r2=rates)
+    @settings(max_examples=100, deadline=None)
+    def test_cached_answer_bit_identical_to_uncached(
+        self, ms, t, age, r1, r2
+    ):
+        provider = Provider([ms], (0.0, r1, r2))
+        service = ClockService(provider, slo=25e-6)
+        at = provider.synced_at + age
+
+        uncached = service.translate(t, 1, 2, at)
+        cached = service.translate(t, 1, 2, at)
+        assert cached is uncached  # second call served from the memo
+
+        # Both equal the raw model arithmetic, bit for bit.
+        expected = ms[1].apply_inverse(ms[0].apply(t))
+        assert uncached.value == expected
+
+        # And the vectorized path agrees element-exactly.
+        values, bounds, _ = service.translate_batch(
+            np.array([t]), np.array([1]), np.array([2]), np.array([at])
+        )
+        assert values[0] == uncached.value
+        assert bounds[0] == uncached.error_bound
+
+    @given(
+        sets=st.tuples(models(2), models(2)),
+        t=readings, age=ages, r1=rates, r2=rates,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_memo_never_serves_across_a_resync(
+        self, sets, t, age, r1, r2
+    ):
+        provider = Provider(list(sets), (0.0, r1, r2))
+        service = ClockService(provider, slo=25e-6)
+        at = provider.synced_at + age
+
+        before = service.translate(t, 1, 2, at)
+        provider.resync()
+        after = service.translate(t, 1, 2, at)
+
+        assert before.generation == 0
+        assert after.generation == 1
+        assert service.stats.memo_hits == 0
+        # The post-resync answer comes from the NEW models, exactly.
+        new = sets[1]
+        assert after.value == new[1].apply_inverse(new[0].apply(t))

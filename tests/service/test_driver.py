@@ -1,0 +1,162 @@
+"""Tests for the end-to-end service driver (repro.service.driver)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.config import checking
+from repro.errors import ConfigurationError
+from repro.obs.health import evaluate_health
+from repro.obs.metrics import MetricsRegistry, default_metrics
+from repro.obs.report import build_report
+from repro.obs.timeseries import TimeSeriesBank, default_timeseries
+from repro.parallel import JobSpec, job_seeds, run_jobs, seed_int
+from repro.service import (
+    ErrorBoundResyncPolicy,
+    PeriodicResyncPolicy,
+    ServiceConfig,
+    SimulatedCluster,
+    WorkloadSpec,
+    run_service,
+)
+from repro.experiments.service_slo import _policy_job
+
+QUICK = ServiceConfig(num_ranks=4)
+SHORT = WorkloadSpec(mode="open", duration=12.0, rate=1500.0)
+
+
+def volatile_free(result) -> dict:
+    fields = dataclasses.asdict(result)
+    fields.pop("wall_s")
+    return fields
+
+
+class TestSimulatedCluster:
+    def test_sync_advances_the_generation(self):
+        cluster = SimulatedCluster(QUICK, np.random.SeedSequence(0))
+        assert cluster.generation == -1
+        cluster.sync(2.0)
+        assert cluster.generation == 0
+        assert cluster.synced_at == 2.0
+        assert 0.0 < cluster.base_error < 1e-4
+        assert len(cluster.models()) == 4
+        assert cluster.models()[0].slope == 0.0
+
+    def test_fits_track_the_true_offsets(self):
+        cluster = SimulatedCluster(QUICK, np.random.SeedSequence(1))
+        cluster.sync(3.0)
+        t = 3.5
+        for rank in (1, 2, 3):
+            local = cluster.clocks[rank].read(t)
+            estimated = cluster.models()[rank].apply(local)
+            truth = cluster.clocks[0].read_raw(t)
+            assert abs(estimated - truth) < 20e-6
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(num_ranks=1)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(slo=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(fit_points=1)
+
+
+class TestRunService:
+    def test_deterministic_across_runs(self):
+        a = run_service(PeriodicResyncPolicy(4.0), SHORT, QUICK, seed=5)
+        b = run_service(PeriodicResyncPolicy(4.0), SHORT, QUICK, seed=5)
+        assert volatile_free(a) == volatile_free(b)
+
+    def test_reports_sane_numbers(self):
+        res = run_service(PeriodicResyncPolicy(4.0), SHORT, QUICK, seed=5)
+        assert res.queries == pytest.approx(18_000, rel=0.1)
+        assert res.syncs == 3
+        assert res.policy == "periodic[4s]"
+        assert res.workload == "open[1500/s]"
+        assert 0.0 < res.latency_p50 < res.latency_p999 <= 0.01
+        assert 0.0 <= res.clock_error_p50 <= res.clock_error_p99
+        assert res.clock_error_p99 <= res.clock_error_max < 1e-3
+        # The policy loop's epoch() call takes the one miss per
+        # generation, so every query-path access is a hit.
+        assert res.cache_misses == res.syncs
+        assert res.cache_hits == res.queries
+
+    def test_more_frequent_resync_reduces_error(self):
+        often = run_service(
+            PeriodicResyncPolicy(2.0), SHORT, QUICK, seed=5
+        )
+        rarely = run_service(
+            PeriodicResyncPolicy(11.0), SHORT, QUICK, seed=5
+        )
+        assert often.syncs > rarely.syncs
+        assert often.clock_error_p99 < rarely.clock_error_p99
+
+    def test_errorbound_policy_meets_its_slo(self):
+        res = run_service(
+            ErrorBoundResyncPolicy(slo=QUICK.slo), SHORT, QUICK, seed=5
+        )
+        assert res.slo_met
+        assert res.clock_error_p99 <= QUICK.slo
+
+    def test_check_mode_passes_on_a_clean_run(self):
+        with checking("strict"):
+            res = run_service(
+                PeriodicResyncPolicy(4.0), SHORT, QUICK, seed=5
+            )
+        assert res.queries > 0
+
+    def test_emits_metrics_and_timeseries(self):
+        registry = MetricsRegistry()
+        bank = TimeSeriesBank()
+        with default_metrics(registry), default_timeseries(bank):
+            res = run_service(
+                PeriodicResyncPolicy(4.0), SHORT, QUICK, seed=5
+            )
+        assert registry.counter("service.queries").value == res.queries
+        assert registry.counter("service.resyncs").value == res.syncs
+        hist = registry.histogram("service.latency")
+        assert hist.count == res.queries
+        assert hist.quantile(0.5) == res.latency_p50
+        names = bank.names()
+        assert "service.stale_rate" in names
+        assert "service.error_bound" in names
+        assert "clock.error" in names
+        marks = bank.marks_named("resync")
+        assert len(marks) == res.syncs - 1
+
+
+class TestJobsMergeIdentity:
+    def _report(self, jobs: int) -> dict:
+        registry = MetricsRegistry()
+        bank = TimeSeriesBank()
+        entries = [
+            (PeriodicResyncPolicy(3.0), "periodic[3s]"),
+            (ErrorBoundResyncPolicy(slo=QUICK.slo), "errorbound"),
+        ]
+        seeds = job_seeds(0, len(entries))
+        specs = [
+            JobSpec(
+                _policy_job,
+                args=(policy, SHORT, QUICK, seed_int(child), scope),
+                label=scope,
+            )
+            for (policy, scope), child in zip(entries, seeds)
+        ]
+        with default_metrics(registry), default_timeseries(bank):
+            results = run_jobs(specs, jobs=jobs)
+        report = build_report(
+            bank=bank,
+            metrics=registry,
+            verdict=evaluate_health(bank),
+            meta={"results": [volatile_free(r) for r in results]},
+        )
+        report.pop("generated_at", None)
+        return report
+
+    def test_report_identical_for_jobs_1_and_2(self):
+        serial = self._report(jobs=1)
+        parallel = self._report(jobs=2)
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)

@@ -1,0 +1,114 @@
+"""Tests for compiled model epochs (repro.service.epoch)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SyncError
+from repro.service.epoch import ModelEpoch, compile_epoch
+from repro.simtime.drift import ConstantDrift, RandomWalkDrift
+from repro.sync.linear_model import LinearDriftModel
+
+MODELS = [
+    LinearDriftModel.ZERO,
+    LinearDriftModel(slope=2.5e-5, intercept=0.013),
+    LinearDriftModel(slope=-1.1e-5, intercept=-0.4),
+    LinearDriftModel(slope=8e-6, intercept=2.75),
+]
+DRIFTS = (
+    ConstantDrift(0.0),
+    ConstantDrift(2.5e-5),
+    RandomWalkDrift(1e-5, sigma=1e-7, rng=np.random.default_rng(3)),
+    1.5e-5,  # plain rate in s/s
+)
+
+
+def epoch(**kwargs):
+    defaults = dict(
+        generation=0, synced_at=10.0, models=MODELS, drifts=DRIFTS,
+        base_error=2e-7, ref_rank=0,
+    )
+    defaults.update(kwargs)
+    return compile_epoch(**defaults)
+
+
+class TestCompile:
+    def test_model_for_roundtrips_the_compiled_coefficients(self):
+        ep = epoch()
+        assert ep.num_ranks == 4
+        for rank, model in enumerate(MODELS):
+            assert ep.model_for(rank) == model
+
+    def test_rejects_mismatched_drift_count(self):
+        with pytest.raises(SyncError):
+            epoch(drifts=DRIFTS[:2])
+
+    def test_rejects_non_invertible_slope(self):
+        bad = [LinearDriftModel(slope=1.0, intercept=0.0)] + MODELS[1:]
+        with pytest.raises(SyncError):
+            epoch(models=bad)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(SyncError):
+            ModelEpoch(
+                generation=0, synced_at=0.0,
+                slopes=np.zeros(3), intercepts=np.zeros(2),
+                drifts=(0.0, 0.0, 0.0),
+            )
+
+
+class TestVectorizedEvaluation:
+    def test_global_of_bit_identical_to_scalar_apply(self):
+        ep = epoch()
+        rng = np.random.default_rng(7)
+        readings = rng.uniform(0.0, 1e5, 500)
+        ranks = rng.integers(0, 4, 500)
+        values = ep.global_of(ranks, readings)
+        for i in range(500):
+            scalar = ep.model_for(int(ranks[i])).apply(float(readings[i]))
+            assert values[i] == scalar
+
+    def test_local_of_bit_identical_to_scalar_apply_inverse(self):
+        ep = epoch()
+        rng = np.random.default_rng(8)
+        reference = rng.uniform(0.0, 1e5, 500)
+        ranks = rng.integers(0, 4, 500)
+        values = ep.local_of(ranks, reference)
+        for i in range(500):
+            scalar = ep.model_for(int(ranks[i])).apply_inverse(
+                float(reference[i])
+            )
+            assert values[i] == scalar
+
+
+class TestBounds:
+    def test_reference_rank_bound_is_zero(self):
+        ep = epoch()
+        bounds = ep.bounds_for(np.zeros(5, dtype=int), np.linspace(0, 60, 5))
+        assert np.all(bounds == 0.0)
+
+    def test_nonref_bound_starts_at_base_error_and_grows(self):
+        ep = epoch()
+        ranks = np.full(4, 1)
+        ages = np.array([0.0, 5.0, 20.0, 60.0])
+        bounds = ep.bounds_for(ranks, ages)
+        assert bounds[0] == pytest.approx(ep.base_error)
+        assert np.all(np.diff(bounds) >= 0.0)
+
+    def test_float_rate_drift_grows_linearly(self):
+        ep = epoch()
+        age = 12.0
+        (bound,) = ep.bounds_for(np.array([3]), np.array([age]))
+        scale = 1.0 + abs(MODELS[3].slope)
+        # Rank 3 uses the plain-rate path; the reference drift is a
+        # ConstantDrift whose growth is identically zero.
+        assert bound == pytest.approx(
+            ep.base_error + scale * (abs(DRIFTS[3]) * age)
+        )
+
+    def test_max_bound_is_the_worst_rank(self):
+        ep = epoch()
+        age = 30.0
+        per_rank = ep.bounds_for(
+            np.arange(4), np.full(4, age)
+        )
+        assert ep.max_bound(age) == per_rank.max()

@@ -1,0 +1,86 @@
+"""Tests for resync scheduling policies (repro.service.slo)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.epoch import compile_epoch
+from repro.service.slo import ErrorBoundResyncPolicy, PeriodicResyncPolicy
+from repro.simtime.drift import ConstantDrift, RandomWalkDrift
+from repro.sync.linear_model import LinearDriftModel
+
+MODELS = [
+    LinearDriftModel.ZERO,
+    LinearDriftModel(slope=1e-5, intercept=0.01),
+]
+
+
+def drifting_epoch(sigma=3e-7, synced_at=10.0, base_error=1e-7):
+    return compile_epoch(
+        generation=0, synced_at=synced_at, models=MODELS,
+        drifts=(
+            RandomWalkDrift(1e-5, sigma=sigma, rng=np.random.default_rng(1)),
+            RandomWalkDrift(-2e-5, sigma=sigma, rng=np.random.default_rng(2)),
+        ),
+        base_error=base_error,
+    )
+
+
+def stable_epoch(synced_at=10.0):
+    return compile_epoch(
+        generation=0, synced_at=synced_at, models=MODELS,
+        drifts=(ConstantDrift(0.0), ConstantDrift(1e-5)),
+        base_error=1e-7,
+    )
+
+
+class TestPeriodic:
+    def test_schedules_one_period_after_sync(self):
+        policy = PeriodicResyncPolicy(8.0)
+        assert policy.next_resync(drifting_epoch(synced_at=3.0)) == 11.0
+        assert policy.label() == "periodic[8s]"
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicResyncPolicy(0.0)
+
+
+class TestErrorBound:
+    def test_schedules_at_the_bound_crossing(self):
+        slo, margin = 25e-6, 0.8
+        policy = ErrorBoundResyncPolicy(slo=slo, margin=margin)
+        epoch = drifting_epoch()
+        t_next = policy.next_resync(epoch)
+        age = t_next - epoch.synced_at
+        assert 0.0 < age < policy.max_age
+        # At the scheduled age the predicted bound sits at the trigger.
+        assert epoch.max_bound(age) == pytest.approx(
+            margin * slo, rel=1e-6
+        )
+
+    def test_tighter_slo_resyncs_sooner(self):
+        epoch = drifting_epoch()
+        tight = ErrorBoundResyncPolicy(slo=5e-6).next_resync(epoch)
+        loose = ErrorBoundResyncPolicy(slo=50e-6).next_resync(epoch)
+        assert tight < loose
+
+    def test_stable_cluster_falls_back_to_max_age(self):
+        # Constant drift never accumulates bound growth, so the policy
+        # settles on its schedule ceiling.
+        policy = ErrorBoundResyncPolicy(slo=25e-6, max_age=120.0)
+        epoch = stable_epoch(synced_at=7.0)
+        assert policy.next_resync(epoch) == 127.0
+
+    def test_label_carries_slo_and_margin(self):
+        assert (
+            ErrorBoundResyncPolicy(slo=25e-6, margin=0.5).label()
+            == "errorbound[2.5e-05s@0.5]"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ErrorBoundResyncPolicy(slo=0.0)
+        with pytest.raises(ConfigurationError):
+            ErrorBoundResyncPolicy(slo=1e-6, margin=1.5)
+        with pytest.raises(ConfigurationError):
+            ErrorBoundResyncPolicy(slo=1e-6, max_age=0.0)

@@ -55,6 +55,11 @@ class Machine:
             )
         self.ranks_per_node = ranks_per_node
         self.name = name
+        #: Memoized per-rank placements, built on first lookup.  Placement
+        #: is queried per (rank, message) in hot setup paths — the level
+        #: map, NIC node lookups, clock-domain keys — so the divmod pair
+        #: is paid once per rank, not per query.
+        self._placements: list[Placement] | None = None
 
     @property
     def num_ranks(self) -> int:
@@ -62,8 +67,16 @@ class Machine:
 
     def placement(self, rank: int) -> Placement:
         """Node/socket/core of a rank (block placement, round-robin cores)."""
+        placements = self._placements
+        if placements is None:
+            placements = self._placements = [
+                self._compute_placement(r) for r in range(self.num_ranks)
+            ]
         if not 0 <= rank < self.num_ranks:
             raise ValueError(f"rank {rank} out of range")
+        return placements[rank]
+
+    def _compute_placement(self, rank: int) -> Placement:
         node, local = divmod(rank, self.ranks_per_node)
         socket, core = divmod(local, self.cores_per_socket)
         # With fewer ranks than cores, ranks fill socket 0 first (pinned to
@@ -72,13 +85,25 @@ class Machine:
         return Placement(rank=rank, node=node, socket=socket, core=core)
 
     def level_between(self, a: int, b: int) -> Level:
-        """Topological distance class between two ranks."""
-        pa, pb = self.placement(a), self.placement(b)
-        if pa.node != pb.node:
+        """Topological distance class between two ranks.
+
+        Computed arithmetically from the block placement rather than via
+        :meth:`placement`: the engine fills its pairwise level cache
+        through here (p·log p distinct pairs for the doubling patterns),
+        and two divmods beat four attribute loads on frozen dataclasses.
+        """
+        n = self.num_ranks
+        if not (0 <= a < n and 0 <= b < n):
+            raise ValueError(f"rank pair ({a}, {b}) out of range")
+        rpn = self.ranks_per_node
+        node_a, local_a = divmod(a, rpn)
+        node_b, local_b = divmod(b, rpn)
+        if node_a != node_b:
             return Level.REMOTE
-        if pa.socket != pb.socket:
+        cps = self.cores_per_socket
+        if local_a // cps != local_b // cps:
             return Level.NODE
-        if pa.core != pb.core:
+        if local_a != local_b:
             return Level.SOCKET
         return Level.SELF
 

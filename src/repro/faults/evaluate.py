@@ -139,6 +139,7 @@ def run_recovery(
     sink: EventSink | None = None,
     metrics: MetricsRegistry | None = None,
     timeseries: TimeSeriesBank | None = None,
+    event_queue: str = "calendar",
 ) -> RecoveryReport:
     """Run one policy through ``scenario`` and score its recovery.
 
@@ -161,14 +162,14 @@ def run_recovery(
         return _run_recovery_scoped(
             scenario, resync_age, algorithm_factory, horizon,
             sample_interval, ensure_interval, num_nodes, ranks_per_node,
-            network, time_source, seed, sink, metrics, bank,
+            network, time_source, seed, sink, metrics, bank, event_queue,
         )
 
 
 def _run_recovery_scoped(
     scenario, resync_age, algorithm_factory, horizon, sample_interval,
     ensure_interval, num_nodes, ranks_per_node, network, time_source,
-    seed, sink, metrics, bank,
+    seed, sink, metrics, bank, event_queue,
 ) -> RecoveryReport:
     machine = Machine(
         num_nodes=num_nodes,
@@ -194,6 +195,7 @@ def _run_recovery_scoped(
         sink=sink,
         metrics=metrics,
         timeseries=bank,
+        event_queue=event_queue,
     )
     #: rank → [(true time acquired, global clock)], newest last.
     records: dict[int, list[tuple[float, Clock]]] = {}
@@ -255,28 +257,38 @@ def _run_recovery_scoped(
     first = int(np.ceil(t_ready / sample_interval)) + 1
     window = scenario.window()
     errors: dict[str, list[float]] = {"before": [], "during": [], "after": []}
-    for i in range(first, int(horizon / sample_interval) + 1):
-        t = i * sample_interval
-        readings = []
-        for rank in ranks:
-            clock = None
-            for acquired, c in records[rank]:
-                if acquired <= t:
-                    clock = c
-                else:
-                    break
-            assert clock is not None
-            readings.append(clock.read(t))
-        err = max(readings) - min(readings)
+    grid = [
+        i * sample_interval
+        for i in range(first, int(horizon / sample_interval) + 1)
+    ]
+    ts = np.asarray(grid, dtype=np.float64)
+    # Per rank, each acquired clock covers a contiguous slice of the
+    # grid (records are in acquisition order), so the whole trajectory
+    # resolves in one read_many per (rank, clock) epoch instead of a
+    # rank x grid scalar loop.  read_many is pinned bit-identical to
+    # per-element read, and the emission order below is unchanged.
+    readings = np.empty((len(ranks), len(grid)), dtype=np.float64)
+    for row, rank in enumerate(ranks):
+        recs = records[rank]
+        acquired = np.asarray([a for a, _ in recs], dtype=np.float64)
+        active = np.searchsorted(acquired, ts, side="right") - 1
+        assert len(grid) == 0 or int(active.min()) >= 0
+        for k, (_, clock) in enumerate(recs):
+            mask = active == k
+            if mask.any():
+                readings[row, mask] = clock.read_many(ts[mask])
+    for i, t in enumerate(grid):
+        col = readings[:, i]
+        err = float(col.max()) - float(col.min())
         report.samples.append((t, err))
         errors[_phase_of(t, window)].append(err)
         if bank is not None:
             # Per-rank error against rank 0's global clock (rank 0 vs
             # itself is identically 0, so it is skipped) plus the
             # job-level spread — the series the health detectors scan.
-            ref = readings[0]
-            for rank, reading in zip(ranks[1:], readings[1:]):
-                bank.sample("clock.error", t, reading - ref, rank=rank)
+            ref = float(col[0])
+            for rank, reading in zip(ranks[1:], col[1:]):
+                bank.sample("clock.error", t, float(reading) - ref, rank=rank)
             bank.sample("clock.error.spread", t, err)
     report.phases = {
         name: PhaseStats.from_errors(vals) for name, vals in errors.items()

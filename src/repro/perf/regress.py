@@ -11,7 +11,10 @@ legitimately miss optional sections, e.g. ``campaign_parallel`` on a
 engine/campaign numbers in a scaling-only entry):
 
 * ``engine.msgs_per_sec`` — latest lower than the best (max) prior by
-  > tolerance fails;
+  > tolerance fails; gated per event-queue kernel (entries recorded
+  before the engine grew selectable kernels ran the heap and keep the
+  unsuffixed name; other kernels check as
+  ``engine[q=<kind>].msgs_per_sec``);
 * ``campaign.wall_s`` — latest higher than the best (min) prior by
   > tolerance fails, each side using its *fastest* recorded
   configuration (serial or parallel);
@@ -87,15 +90,22 @@ def _campaign_wall(entry: dict[str, Any]) -> float | None:
 def _scaling_rates(entry: dict[str, Any]) -> dict[str, float]:
     """``{key: msgs_per_sec}`` from a scaling section, if any.
 
-    The key folds in workload and budget, so only points measuring the
-    same configuration ever compare (a CI sweep at a tiny budget must
-    not gate against the full-size default sweep).
+    The key folds in workload, budget and the event-queue kernel, so
+    only points measuring the same configuration ever compare (a CI
+    sweep at a tiny budget must not gate against the full-size default
+    sweep, and a calendar-queue sweep must not gate against a heap one).
+    Points recorded before the engine grew selectable kernels default to
+    ``heap`` — that is what those trees ran.
     """
     section = entry.get("scaling", {})
     workload = section.get("workload", "ring")
     budget = section.get("budget", 0)
     return {
-        f"{workload}/{budget},p={int(pt['p'])}": pt["msgs_per_sec"]
+        (
+            f"{workload}/{budget},"
+            f"q={pt.get('event_queue', section.get('event_queue', 'heap'))},"
+            f"p={int(pt['p'])}"
+        ): pt["msgs_per_sec"]
         for pt in section.get("points", [])
         if pt.get("p") and pt.get("msgs_per_sec")
     }
@@ -121,14 +131,29 @@ def check_bench(
         )
     checks: list[RegressionCheck] = []
 
-    rates = [
-        e["engine"]["msgs_per_sec"] for e in entries
-        if e.get("engine", {}).get("msgs_per_sec")
-    ]
-    if len(rates) >= 2:
+    # Engine throughput is gated per event-queue kernel: a calendar-queue
+    # entry never compares against a heap one (they are different
+    # implementations, not the same code getting faster or slower).
+    # Entries recorded before the engine grew selectable kernels ran the
+    # heap, and keep the historical unsuffixed check name.
+    engine_rates: dict[str, list[float]] = {}
+    for e in entries:
+        engine = e.get("engine", {})
+        if engine.get("msgs_per_sec"):
+            kind = engine.get("event_queue", "heap")
+            engine_rates.setdefault(kind, []).append(
+                engine["msgs_per_sec"]
+            )
+    for kind in sorted(engine_rates):
+        rates = engine_rates[kind]
+        if len(rates) < 2:
+            continue
         b_rate = max(rates[:-1])
         checks.append(RegressionCheck(
-            name="engine.msgs_per_sec",
+            name=(
+                "engine.msgs_per_sec" if kind == "heap"
+                else f"engine[q={kind}].msgs_per_sec"
+            ),
             baseline=b_rate,
             current=rates[-1],
             regression=1.0 - rates[-1] / b_rate,

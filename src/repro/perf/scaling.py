@@ -21,11 +21,19 @@ Results go to the ``BENCH_engine.json`` trajectory via ``--record``:
 one entry whose ``scaling`` section :mod:`repro.perf.regress` compares
 per rank count against the best prior entry.
 
+Each point records the engine's event-queue kind
+(``event_queue``), and the regression gate keys on it: a calendar-queue
+sweep never gates against a heap sweep.  ``--compare`` prints, per
+``(workload, p)``, the speedup of the fresh sweep over the best prior
+trajectory point.
+
 CLI::
 
-    python -m repro.perf.scaling [--p 32 128 512 2048] [--workload ring]
+    python -m repro.perf.scaling [--p 32 128 512 2048 4096]
+                                 [--workload ring] [--queue calendar]
                                  [--budget 25600] [--seed 0] [--no-zones]
-                                 [--record LABEL] [--output BENCH.json]
+                                 [--compare] [--record LABEL]
+                                 [--output BENCH.json]
 """
 
 from __future__ import annotations
@@ -40,15 +48,17 @@ from repro.cluster.netmodels import infiniband_qdr
 from repro.perf.harness import (
     BENCH_FILE,
     _ring_main,
+    load_bench,
     record_bench,
     ring_machine,
 )
 from repro.prof import Profiler, zone_breakdown
+from repro.simmpi.eventq import QUEUE_KINDS
 from repro.simmpi.simulation import Simulation
 
-#: Rank counts swept by default — powers of 4 up to the scale where the
-#: pure-python kernel becomes the bottleneck (see ROADMAP item 1).
-DEFAULT_P = (32, 128, 512, 2048)
+#: Rank counts swept by default — powers of 4 up to the p >= 4096 scale
+#: the batched event kernel targets (ROADMAP item 1).
+DEFAULT_P = (32, 128, 512, 2048, 4096)
 
 #: Ring workload: total messages per point (``nrounds ≈ budget / p``).
 DEFAULT_BUDGET = 25600
@@ -74,7 +84,10 @@ def _fig3_main():
     return main
 
 
-def _build(p: int, workload: str, budget: int, seed: int):
+def _build(
+    p: int, workload: str, budget: int, seed: int,
+    event_queue: str = "calendar",
+):
     """(simulation factory, SPMD body, params dict) for one sweep point."""
     if p < RANKS_PER_NODE or p % RANKS_PER_NODE:
         raise ValueError(
@@ -85,7 +98,7 @@ def _build(p: int, workload: str, budget: int, seed: int):
     def make_sim(profiler: Profiler | None = None) -> Simulation:
         return Simulation(
             machine=machine, network=infiniband_qdr(), seed=seed,
-            profiler=profiler,
+            profiler=profiler, event_queue=event_queue,
         )
 
     if workload == "ring":
@@ -102,14 +115,18 @@ def probe_point(
     budget: int = DEFAULT_BUDGET,
     seed: int = 0,
     zones: bool = True,
+    event_queue: str = "calendar",
 ) -> dict[str, Any]:
     """Measure one rank count: throughput (unprofiled) + zone breakdown.
 
     The timing run is unprofiled; ``zones=True`` repeats the identical
     deterministic workload under a profiler so the breakdown costs the
-    timing numbers nothing.
+    timing numbers nothing.  The point records ``event_queue`` so the
+    regression gate never compares different kernel implementations.
     """
-    make_sim, make_main, params = _build(p, workload, budget, seed)
+    make_sim, make_main, params = _build(
+        p, workload, budget, seed, event_queue=event_queue
+    )
     sim = make_sim()
     t0 = time.perf_counter()
     result = sim.run(make_main())
@@ -119,6 +136,7 @@ def probe_point(
         "p": p,
         "workload": workload,
         "seed": seed,
+        "event_queue": event_queue,
         **params,
         "wall_s": wall,
         "messages": result.messages,
@@ -128,6 +146,7 @@ def probe_point(
             stats["events_processed"] / wall if wall > 0 else 0.0
         ),
         "max_queue_depth": stats["max_queue_depth"],
+        "gate_deferrals": stats["gate_deferrals"],
     }
     if zones:
         profiler = Profiler()
@@ -143,12 +162,14 @@ def scaling_probe(
     seed: int = 0,
     zones: bool = True,
     verbose: bool = False,
+    event_queue: str = "calendar",
 ) -> dict[str, Any]:
     """Sweep ``p_values``; returns the entry's ``scaling`` section."""
     points = []
     for p in p_values:
         point = probe_point(
-            p, workload=workload, budget=budget, seed=seed, zones=zones
+            p, workload=workload, budget=budget, seed=seed, zones=zones,
+            event_queue=event_queue,
         )
         points.append(point)
         if verbose:
@@ -173,8 +194,55 @@ def scaling_probe(
         "workload": workload,
         "budget": budget,
         "seed": seed,
+        "event_queue": event_queue,
         "points": points,
     }
+
+
+def compare_to_trajectory(
+    scaling: dict[str, Any], path: str = BENCH_FILE
+) -> list[dict[str, Any]]:
+    """Speedup of a fresh sweep vs the best prior point per (workload, p).
+
+    Scans every recorded ``scaling`` section in the trajectory at
+    ``path`` and, for each point of ``scaling``, reports the best prior
+    ``msgs_per_sec`` at the same workload and rank count (any budget or
+    queue kind — this is a progress report, not the regression gate,
+    which only ever compares identical configurations).  Points with no
+    prior measurement report ``speedup: None``.
+    """
+    best: dict[tuple[str, int], dict[str, Any]] = {}
+    for entry in load_bench(path).get("entries", []):
+        section = entry.get("scaling", {})
+        workload = section.get("workload", "ring")
+        for pt in section.get("points", []):
+            if not (pt.get("p") and pt.get("msgs_per_sec")):
+                continue
+            key = (workload, int(pt["p"]))
+            prior = best.get(key)
+            if prior is None or pt["msgs_per_sec"] > prior["msgs_per_sec"]:
+                best[key] = {
+                    "msgs_per_sec": pt["msgs_per_sec"],
+                    "event_queue": pt.get("event_queue", "heap"),
+                    "budget": section.get("budget"),
+                    "label": entry.get("label"),
+                    "recorded_at": entry.get("recorded_at"),
+                }
+    rows = []
+    for pt in scaling["points"]:
+        key = (scaling["workload"], int(pt["p"]))
+        prior = best.get(key)
+        rows.append({
+            "p": int(pt["p"]),
+            "workload": scaling["workload"],
+            "msgs_per_sec": pt["msgs_per_sec"],
+            "prior": prior,
+            "speedup": (
+                pt["msgs_per_sec"] / prior["msgs_per_sec"]
+                if prior else None
+            ),
+        })
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -190,6 +258,10 @@ def main(argv: list[str] | None = None) -> int:
         "--workload", choices=["ring", "fig3"], default="ring",
     )
     parser.add_argument(
+        "--queue", choices=list(QUEUE_KINDS), default="calendar",
+        help="event-queue kernel under test (default: calendar)",
+    )
+    parser.add_argument(
         "--budget", type=int, default=DEFAULT_BUDGET,
         help="ring workload: total messages per point "
              f"(default: {DEFAULT_BUDGET})",
@@ -198,6 +270,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-zones", action="store_true",
         help="skip the profiled second run per point (halves runtime)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="print the sweep's speedup vs the best prior trajectory "
+             "point per (workload, p)",
     )
     parser.add_argument(
         "--record", metavar="LABEL",
@@ -220,9 +297,27 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         zones=not args.no_zones,
         verbose=not args.json,
+        event_queue=args.queue,
     )
     if args.json:
         print(json.dumps(scaling, indent=2, sort_keys=True))
+    if args.compare:
+        for row in compare_to_trajectory(scaling, args.output):
+            prior = row["prior"]
+            if prior is None:
+                print(
+                    f"compare: p={row['p']:5d}: "
+                    f"{row['msgs_per_sec']:10,.0f} msgs/s "
+                    "(no prior trajectory point)"
+                )
+            else:
+                print(
+                    f"compare: p={row['p']:5d}: "
+                    f"{row['msgs_per_sec']:10,.0f} msgs/s vs best prior "
+                    f"{prior['msgs_per_sec']:10,.0f} "
+                    f"({prior['event_queue']}, {prior['recorded_at']}) "
+                    f"-> {row['speedup']:.2f}x"
+                )
     if args.record:
         data = record_bench(args.record, {"scaling": scaling}, args.output)
         print(

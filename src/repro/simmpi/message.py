@@ -18,7 +18,7 @@ ANY_SOURCE: int = -1
 ANY_TAG: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A point-to-point message in flight or queued at the receiver.
 
@@ -47,7 +47,7 @@ class Message:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvDescriptor:
     """A blocked receive waiting for a matching message."""
 

@@ -22,7 +22,14 @@ from typing import Any, Generator
 import numpy as np
 
 from repro.errors import ClockError
-from repro.simmpi.engine import ElapseCmd, Engine, RecvCmd, SendCmd, WaitUntilCmd
+from repro.simmpi.engine import (
+    ElapseCmd,
+    Engine,
+    RecvCmd,
+    SendCmd,
+    SendRecvCmd,
+    WaitUntilCmd,
+)
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
 from repro.simtime.base import Clock
 from repro.simtime.hardware import HardwareClock
@@ -135,9 +142,17 @@ class ProcessContext:
         source: int = ANY_SOURCE,
         recv_tag: int = ANY_TAG,
     ) -> Generator[Any, Any, Message]:
-        """Eager send followed by a blocking receive (exchange pattern)."""
-        yield SendCmd(dest=dest, tag=send_tag, payload=payload, size=size)
-        msg = yield RecvCmd(source=source, tag=recv_tag)
+        """Eager send followed by a blocking receive (exchange pattern).
+
+        Yields one fused :class:`SendRecvCmd`: the engine executes the
+        send half, re-checks the causality gate, then runs the receive —
+        bit-identical to a SendCmd/RecvCmd pair but one generator resume
+        cheaper per exchange.
+        """
+        msg = yield SendRecvCmd(
+            dest=dest, tag=send_tag, payload=payload, size=size,
+            source=source, recv_tag=recv_tag,
+        )
         return msg
 
     def elapse(self, duration: float) -> Generator:

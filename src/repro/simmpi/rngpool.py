@@ -19,6 +19,14 @@ so the chunk size is a pure performance knob: any two pools over
 generators with the same seed produce the same variate sequence
 regardless of chunking (``tests/simmpi/test_rngpool.py`` pins this).
 
+Refills *ramp*: the first refill draws :data:`RAMP_START` variates and
+each subsequent one doubles until the configured chunk cap.  Rank-scaled
+workloads hold thousands of pools that each consume only a few dozen
+variates (one sync round's worth); ramping bounds the per-pool over-draw
+to ~2× its consumption instead of a fixed 1024-variate block.  By the
+array-fill property above, the ramp schedule — like the cap — cannot
+change results.
+
 All *derived* variates (exponential jitter, outlier triggers) are
 computed from these uniforms by explicit inverse-CDF transforms in
 :mod:`repro.simmpi.network` rather than by numpy's ziggurat samplers.
@@ -32,10 +40,12 @@ from __future__ import annotations
 
 import numpy as np
 
-#: Default variates per refill.  Large enough to amortize the numpy call
-#: overhead across hundreds of messages, small enough that short runs do
-#: not waste noticeable work on unconsumed tail draws.
+#: Default refill cap, in variates.  Large enough to amortize the numpy
+#: call overhead across hundreds of messages once a pool is warm.
 DEFAULT_CHUNK = 1024
+
+#: First-refill size; refills double from here up to the pool's cap.
+RAMP_START = 64
 
 
 class UniformPool:
@@ -43,11 +53,19 @@ class UniformPool:
 
     ``next()`` returns the same float sequence as repeated scalar
     ``rng.random()`` calls on a generator with the same seed, for *any*
-    chunk size.  The buffer is a plain Python list so the hot path pays
-    one list index instead of a numpy scalar extraction per draw.
+    chunk cap and ramp schedule.  The buffer is a plain Python list so the
+    hot path pays one list index instead of a numpy scalar extraction per
+    draw.
+
+    ``take(n)`` hands out the next ``n`` variates of the same stream as a
+    numpy array (the burst-mode refill path).  Mixing ``take`` and
+    ``next`` is deterministic, but the *block structure* of draws from
+    the underlying generator then depends on the call sequence — which is
+    exactly why burst delay sampling is gated behind an explicit engine
+    option rather than on by default.
     """
 
-    __slots__ = ("rng", "chunk", "_buf", "_idx")
+    __slots__ = ("rng", "chunk", "_buf", "_idx", "_next_len")
 
     def __init__(
         self, rng: np.random.Generator, chunk: int = DEFAULT_CHUNK
@@ -58,16 +76,42 @@ class UniformPool:
         self.chunk = int(chunk)
         self._buf: list[float] = []
         self._idx = 0
+        self._next_len = min(RAMP_START, self.chunk)
 
     def next(self) -> float:
         """The next uniform variate in [0, 1)."""
         idx = self._idx
         buf = self._buf
         if idx >= len(buf):
-            buf = self._buf = self.rng.random(self.chunk).tolist()
+            n = self._next_len
+            if n < self.chunk:
+                self._next_len = min(n << 1, self.chunk)
+            buf = self._buf = self.rng.random(n).tolist()
             idx = 0
         self._idx = idx + 1
         return buf[idx]
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` variates of the stream, as a numpy array.
+
+        Consumes any buffered remainder first, then draws the shortfall
+        directly (no over-draw): the concatenation is the same variate
+        sequence ``n`` calls to :meth:`next` would have returned, though
+        the underlying generator is exercised with different block sizes.
+        """
+        if n < 0:
+            raise ValueError("take() needs n >= 0")
+        buf = self._buf
+        idx = self._idx
+        avail = len(buf) - idx
+        if avail >= n:
+            self._idx = idx + n
+            return np.asarray(buf[idx:idx + n])
+        self._idx = len(buf)
+        fresh = self.rng.random(n - avail)
+        if avail == 0:
+            return fresh
+        return np.concatenate([np.asarray(buf[idx:]), fresh])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -106,6 +106,9 @@ class Simulation:
         rng_pool_chunk: int | None = None,
         check: str | None = None,
         profiler: Profiler | None = None,
+        event_queue: str = "calendar",
+        bucket_width: float | None = None,
+        delay_mode: str = "scalar",
     ) -> None:
         """Set up the job.
 
@@ -153,6 +156,17 @@ class Simulation:
         installed via ``repro.prof.set_default_profiler`` applies.
         Profiling only reads the host clock, so profiled runs are
         bit-identical to unprofiled ones.
+
+        ``event_queue`` picks the engine's pending-event kernel
+        (``"calendar"`` — default, O(1) amortized bucket queue — or
+        ``"heap"``, the legacy binary heap) and ``bucket_width`` sizes
+        the calendar buckets (None = auto).  Both are pure performance
+        knobs: every kind/width pops events in the same order, so
+        results are bit-identical (the kernel-equivalence suite pins
+        this).  ``delay_mode="burst"`` vectorizes per-message delay
+        draws; it is deterministic per seed but consumes the uniform
+        stream in a different order than the default ``"scalar"`` path,
+        so it changes results and carries its own goldens.
         """
         if clocks_per not in ("node", "socket", "core"):
             raise SimulationError(
@@ -228,6 +242,9 @@ class Simulation:
             timeseries=self.timeseries,
             injector=injector,
             profiler=self.profiler,
+            event_queue=event_queue,
+            bucket_width=bucket_width,
+            delay_mode=delay_mode,
             **(
                 {"rng_pool_chunk": rng_pool_chunk}
                 if rng_pool_chunk is not None
@@ -239,9 +256,11 @@ class Simulation:
         self._domain_clocks: dict[tuple, HardwareClock] = {}
         self.clocks: list[HardwareClock] = []
         self.contexts: list[ProcessContext] = []
+        #: World rank tuple shared by every world() communicator (one
+        #: allocation instead of one per rank — O(p²) bytes otherwise).
+        self._world_ranks = tuple(range(machine.num_ranks))
+        self.engine.add_processes(machine.num_ranks)
         for rank in range(machine.num_ranks):
-            got = self.engine.add_process()
-            assert got == rank
             pl = machine.placement(rank)
             key = self._domain_key(pl)
             if key not in self._domain_clocks:
@@ -285,8 +304,9 @@ class Simulation:
         """A fresh MPI_COMM_WORLD handle for ``rank``."""
         return Communicator(
             self.contexts[rank],
-            tuple(range(self.machine.num_ranks)),
+            self._world_ranks,
             comm_id=0,
+            comm_rank=rank,
         )
 
     def run(self, main: MainFn) -> SimulationResult:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 SECOND: float = 1.0
 MILLISECOND: float = 1e-3
 MICROSECOND: float = 1e-6
@@ -35,6 +37,21 @@ class Clock(abc.ABC):
         Raises :class:`~repro.errors.ClockError` if the clock is not
         invertible (e.g. a fitted model with slope >= 1).
         """
+
+    def read_many(self, true_times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read` over an array of true times.
+
+        The default is a scalar loop, so every clock supports the array
+        protocol; concrete clocks override it with genuinely vectorized
+        paths (:class:`~repro.simtime.hardware.HardwareClock`,
+        :class:`~repro.sync.clocks.GlobalClockLM`).  Overrides must stay
+        bit-identical to per-element :meth:`read` calls — the telemetry
+        grids rely on that to swap loops for array calls freely.
+        """
+        t = np.asarray(true_times, dtype=np.float64)
+        return np.array(
+            [self.read(float(v)) for v in t], dtype=np.float64
+        )
 
     @property
     def granularity(self) -> float:

@@ -45,6 +45,10 @@ class LinearDriftModel:
         """Adjust a client-local reading to estimated reference time."""
         return local_time - (self.slope * local_time + self.intercept)
 
+    def apply_many(self, local_times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`apply` (same IEEE operation order per element)."""
+        return local_times - (self.slope * local_times + self.intercept)
+
     def apply_inverse(self, reference_time: float) -> float:
         """Client-local reading at which :meth:`apply` gives ``reference_time``."""
         denom = 1.0 - self.slope

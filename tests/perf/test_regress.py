@@ -140,8 +140,38 @@ class TestCheckBench:
         ]}
         checks = check_bench(data, DEFAULT_TOLERANCE)
         by_name = {c.name: c for c in checks}
-        assert by_name["scaling[ring/1024,p=8].msgs_per_sec"].ok
-        assert not by_name["scaling[ring/1024,p=32].msgs_per_sec"].ok
+        # Points without an event_queue field are legacy heap sweeps.
+        assert by_name["scaling[ring/1024,q=heap,p=8].msgs_per_sec"].ok
+        assert not by_name["scaling[ring/1024,q=heap,p=32].msgs_per_sec"].ok
+
+    def test_engine_gates_per_queue_kind(self):
+        """Engine entries partition by kernel: a calendar entry neither
+        regresses against a heap prior nor hides a heap drop."""
+        data = {"format": 2, "entries": [
+            _entry("a", engine={"msgs_per_sec": 100.0}),  # legacy heap
+            _entry("b", engine={"msgs_per_sec": 10.0,
+                                "event_queue": "calendar"}),
+            _entry("c", engine={"msgs_per_sec": 12.0,
+                                "event_queue": "calendar"}),
+        ]}
+        checks = {c.name: c for c in check_bench(data, DEFAULT_TOLERANCE)}
+        # Heap has one entry -> no heap check; calendar gates c vs b.
+        assert set(checks) == {"engine[q=calendar].msgs_per_sec"}
+        assert checks["engine[q=calendar].msgs_per_sec"].ok
+
+    def test_different_queue_kinds_never_compare(self):
+        """A calendar-queue sweep must not gate against a heap sweep."""
+        section = {"workload": "ring", "budget": 1024}
+        data = {"format": 2, "entries": [
+            _entry("s1", scaling={**section, "points": [
+                {"p": 8, "msgs_per_sec": 100.0, "event_queue": "heap"},
+            ]}),
+            _entry("s2", scaling={**section, "points": [
+                {"p": 8, "msgs_per_sec": 10.0, "event_queue": "calendar"},
+            ]}),
+        ]}
+        # Different kernels -> no comparable metric at all.
+        assert check_bench(data, DEFAULT_TOLERANCE) == []
 
     def test_mismatched_scaling_configs_never_compare(self):
         data = {"format": 2, "entries": [
@@ -174,8 +204,12 @@ class TestCli:
 
     def test_doctored_drop_exits_one(self, tmp_path, capsys):
         data = copy.deepcopy(upgrade_bench(_bench_data()))
+        # Doctor the newest entry of the trajectory's *heap* engine
+        # series — the one kind guaranteed to have a prior to gate
+        # against (the committed baseline/current entries).
         for entry in data["entries"]:
-            if entry.get("engine"):
+            engine = entry.get("engine", {})
+            if engine and engine.get("event_queue", "heap") == "heap":
                 last = entry
         last["engine"]["msgs_per_sec"] *= 0.5
         data["entries"].append(data["entries"].pop(

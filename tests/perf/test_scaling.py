@@ -8,7 +8,12 @@ import pytest
 
 from repro.perf.harness import load_bench
 from repro.perf.regress import DEFAULT_TOLERANCE, check_bench
-from repro.perf.scaling import main, probe_point, scaling_probe
+from repro.perf.scaling import (
+    compare_to_trajectory,
+    main,
+    probe_point,
+    scaling_probe,
+)
 
 # Tiny sweep: keeps the whole module in CI-smoke territory.
 TINY_P = (8, 16)
@@ -88,7 +93,7 @@ class TestTrajectoryRoundTrip:
         ]
         checks = check_bench(data, tolerance=DEFAULT_TOLERANCE)
         assert [c.name for c in checks] == [
-            f"scaling[ring/{TINY_BUDGET},p=8].msgs_per_sec"
+            f"scaling[ring/{TINY_BUDGET},q=calendar,p=8].msgs_per_sec"
         ]
 
     def test_json_output(self, capsys):
@@ -98,3 +103,78 @@ class TestTrajectoryRoundTrip:
         ]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["points"][0]["p"] == 8
+
+
+class TestQueueSelection:
+    def test_point_records_queue_kind(self):
+        pt = probe_point(
+            8, budget=TINY_BUDGET, zones=False, event_queue="heap"
+        )
+        assert pt["event_queue"] == "heap"
+        assert pt["gate_deferrals"] >= 0
+
+    def test_queue_kinds_bit_identical(self):
+        """The queue kernel is a pure perf knob: same counts either way."""
+        cal = probe_point(
+            8, budget=TINY_BUDGET, zones=False, event_queue="calendar"
+        )
+        heap = probe_point(
+            8, budget=TINY_BUDGET, zones=False, event_queue="heap"
+        )
+        for key in ("messages", "events_processed", "max_queue_depth",
+                    "gate_deferrals"):
+            assert cal[key] == heap[key]
+
+    def test_cli_queue_flag(self, capsys):
+        assert main([
+            "--p", "8", "--budget", str(TINY_BUDGET), "--no-zones",
+            "--queue", "heap", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["event_queue"] == "heap"
+        assert doc["points"][0]["event_queue"] == "heap"
+
+
+class TestCompare:
+    def test_compare_against_recorded_trajectory(self, tmp_path, capsys):
+        bench = str(tmp_path / "bench.json")
+        assert main([
+            "--p", "8", "16", "--budget", str(TINY_BUDGET), "--no-zones",
+            "--queue", "heap", "--record", "prior", "--output", bench,
+        ]) == 0
+        capsys.readouterr()
+        fresh = scaling_probe(
+            p_values=(8, 16), budget=TINY_BUDGET, zones=False
+        )
+        rows = compare_to_trajectory(fresh, bench)
+        assert [r["p"] for r in rows] == [8, 16]
+        for row in rows:
+            # Best prior is the recorded heap sweep, any queue kind.
+            assert row["prior"]["event_queue"] == "heap"
+            assert row["prior"]["label"] == "prior"
+            assert row["speedup"] == pytest.approx(
+                row["msgs_per_sec"] / row["prior"]["msgs_per_sec"]
+            )
+
+    def test_compare_with_no_prior(self, tmp_path):
+        bench = str(tmp_path / "empty.json")
+        fresh = scaling_probe(
+            p_values=(8,), budget=TINY_BUDGET, zones=False
+        )
+        (row,) = compare_to_trajectory(fresh, bench)
+        assert row["prior"] is None and row["speedup"] is None
+
+    def test_compare_cli_prints_speedup(self, tmp_path, capsys):
+        bench = str(tmp_path / "bench.json")
+        assert main([
+            "--p", "8", "--budget", str(TINY_BUDGET), "--no-zones",
+            "--record", "prior", "--output", bench,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "--p", "8", "--budget", str(TINY_BUDGET), "--no-zones",
+            "--compare", "--output", bench,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "compare: p=    8:" in out
+        assert "x" in out.rsplit("->", 1)[-1]

@@ -33,6 +33,8 @@ EVENT_TYPES: dict[str, type] = {
         obs_events.ResyncRound,
         obs_events.CollectiveEnter,
         obs_events.CollectiveExit,
+        obs_events.PhaseBegin,
+        obs_events.PhaseEnd,
     )
 }
 

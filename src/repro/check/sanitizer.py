@@ -472,11 +472,15 @@ class SanitizerSink:
     # ------------------------------------------------------------------
     # End-of-run checks
     # ------------------------------------------------------------------
-    def finalize(self, engine=None) -> CheckReport:
+    def finalize(self, engine=None, spans=None) -> CheckReport:
         """Run the end-of-run invariants; returns the report.
 
         ``engine`` (when given) enables the stats- and metrics-
-        consistency cross-checks against the event-stream counts.
+        consistency cross-checks against the event-stream counts;
+        ``spans`` (a :class:`~repro.obs.spans.SpanRecorder`, when one is
+        tee'd alongside the sanitizer) cross-validates the two
+        observability layers: the recorder's open-edge count must equal
+        the engine's ``messages_unreceived``.
         Idempotent: a second call returns the report unchanged.
         """
         if self._finalized:
@@ -501,6 +505,8 @@ class SanitizerSink:
                 )
         if engine is not None:
             self._check_engine_consistency(engine)
+        if spans is not None:
+            self._check_span_consistency(engine, spans)
         return self.report
 
     def _check_engine_consistency(self, engine) -> None:
@@ -529,19 +535,53 @@ class SanitizerSink:
             )
         metrics = getattr(engine, "metrics", None)
         if metrics is not None:
-            for counter_name, observed in (
-                ("engine.messages.sent", self.sends),
-                ("engine.messages.delivered", self.deliveries),
-            ):
-                total = metrics.merged_counter(counter_name)
-                if total != observed:
-                    self.violation(
-                        "stats-consistency",
-                        f"metrics counter {counter_name!r} = {total:g} "
-                        f"but the event stream shows {observed}",
-                        counter=counter_name, counter_value=total,
-                        observed=observed,
-                    )
+            self._check_metrics_consistency(metrics)
+
+    def _check_span_consistency(self, engine, spans) -> None:
+        """The span recorder and the sanitizer must agree on open edges.
+
+        Both layers consume the same event stream independently: the
+        sanitizer tracks outstanding sends for conservation, the span
+        recorder tracks open (undelivered) causal edges.  Any mismatch
+        means one of the two mis-parsed the stream — and when the live
+        engine is at hand, its ``messages_unreceived`` stat arbitrates.
+        """
+        open_edges = spans.open_edge_count
+        if open_edges != len(self._outstanding):
+            self.violation(
+                "stats-consistency",
+                f"span recorder reports {open_edges} open edge(s) but "
+                f"the sanitizer tracks {len(self._outstanding)} "
+                f"outstanding send(s)",
+                stat="open_edges", stats_value=open_edges,
+                observed=len(self._outstanding),
+            )
+        if engine is not None:
+            unreceived = engine.stats().get("messages_unreceived")
+            if unreceived != open_edges:
+                self.violation(
+                    "stats-consistency",
+                    f"Engine.stats()['messages_unreceived'] = "
+                    f"{unreceived} but the span recorder reports "
+                    f"{open_edges} open edge(s)",
+                    stat="messages_unreceived", stats_value=unreceived,
+                    observed=open_edges,
+                )
+
+    def _check_metrics_consistency(self, metrics) -> None:
+        for counter_name, observed in (
+            ("engine.messages.sent", self.sends),
+            ("engine.messages.delivered", self.deliveries),
+        ):
+            total = metrics.merged_counter(counter_name)
+            if total != observed:
+                self.violation(
+                    "stats-consistency",
+                    f"metrics counter {counter_name!r} = {total:g} "
+                    f"but the event stream shows {observed}",
+                    counter=counter_name, counter_value=total,
+                    observed=observed,
+                )
 
 
 class TeeSink:
@@ -558,6 +598,13 @@ class TeeSink:
     def emit(self, event) -> None:
         for part in self.parts:
             part.emit(event)
+
+    def run_break(self) -> None:
+        """Forward run segmentation to any part that understands it."""
+        for part in self.parts:
+            brk = getattr(part, "run_break", None)
+            if brk is not None:
+                brk()
 
     def deadlock_diagnosis(self, engine) -> str:
         for part in self.parts:

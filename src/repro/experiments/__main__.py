@@ -15,6 +15,12 @@ Observability options (see :mod:`repro.obs`):
 * ``--profile DIR`` self-profiles the simulator (see :mod:`repro.prof`)
   and writes ``profile.json`` + a speedscope flamegraph under DIR; the
   profiled simulation's outputs are bit-identical to an unprofiled run.
+* ``--critical-path DIR`` attaches a causal span recorder (see
+  :mod:`repro.obs.spans`), extracts each traced run's critical path and
+  sync-round depth afterwards (:mod:`repro.obs.causal`), writes
+  ``critical_path.json`` under DIR and prints the top-N path table.
+  Combined with ``--health-report`` the measured depth ratios feed the
+  ``depth_anomaly`` detector and a report section.
 * ``--chrome-trace-dir DIR`` (with the ``fig10`` target) additionally
   exports the traced AMG run as Chrome trace-event JSON, once through the
   raw local clocks and once through the H2HCA global clocks — open both
@@ -38,8 +44,15 @@ import time
 from contextlib import ExitStack
 
 from repro.check.config import checking, write_aggregate
+from repro.check.sanitizer import TeeSink
+from repro.obs.causal import (
+    analyze_recorder,
+    format_critical_path,
+    write_critical_path,
+)
 from repro.obs.events import CountingSink, default_sink
-from repro.obs.health import evaluate_health
+from repro.obs.health import DEPTH_METRIC, evaluate_health
+from repro.obs.spans import SpanRecorder
 from repro.obs.metrics import MetricsRegistry, default_metrics, format_summary
 from repro.obs.report import build_report, write_report
 from repro.obs.timeseries import TimeSeriesBank, default_timeseries
@@ -172,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
              "reads the host clock, so simulated results stay identical.",
     )
     parser.add_argument(
+        "--critical-path",
+        metavar="DIR",
+        help="attach a causal span recorder to every simulated job, "
+             "extract per-run critical paths and sync-round depth "
+             "afterwards, and write critical_path.json under DIR "
+             "(byte-identical for any --jobs value)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="run every simulated job under the strict simulation "
@@ -232,12 +253,14 @@ def _write_health_report(
     args: argparse.Namespace,
     bank: TimeSeriesBank,
     registry: MetricsRegistry,
+    critical_path: list[dict] | None = None,
 ) -> None:
     verdict = evaluate_health(bank)
     report = build_report(
         bank=bank,
         metrics=registry,
         verdict=verdict,
+        critical_path=critical_path,
         meta={
             "targets": targets,
             "scale": args.scale,
@@ -318,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{info['resync_events']} resync rounds")
 
     sink: CountingSink | None = None
+    recorder: SpanRecorder | None = None
     registry: MetricsRegistry | None = None
     bank: TimeSeriesBank | None = None
     profiler: Profiler | None = None
@@ -335,6 +359,16 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.obs_summary:
             sink = CountingSink()
+        if args.critical_path:
+            recorder = SpanRecorder()
+        if sink is not None and recorder is not None:
+            # Tee counts + spans off one stream.  run_jobs replays the
+            # full per-job event stream into non-counting parents, so
+            # both parts see every event under --jobs N as well.
+            stack.enter_context(default_sink(TeeSink(sink, recorder)))
+        elif recorder is not None:
+            stack.enter_context(default_sink(recorder))
+        elif sink is not None:
             stack.enter_context(default_sink(sink))
         if args.obs_summary or args.health_report:
             # One registry serves both outputs when both are requested.
@@ -364,9 +398,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"profile.json: {json_path}")
         print(f"speedscope: {speedscope_path} "
               "(open in https://www.speedscope.app)")
+    analyses: list[dict] | None = None
+    if args.critical_path:
+        analyses = analyze_recorder(recorder)
+        cp_path = write_critical_path(
+            args.critical_path, analyses,
+            meta={"targets": targets, "scale": args.scale,
+                  "seed": args.seed},
+        )
+        print("=== sync-round critical path ===")
+        print(format_critical_path(analyses))
+        print(f"critical_path.json: {cp_path}")
+        if bank is not None:
+            # Feed the measured depth ratios to the depth_anomaly
+            # detector before the health verdict is computed below.
+            for entry in analyses:
+                bank.sample(
+                    DEPTH_METRIC,
+                    entry["duration_s"],
+                    entry["depth"]["ratio"],
+                )
     if args.health_report:
         _write_health_report(
-            args.health_report, targets, args, bank, registry
+            args.health_report, targets, args, bank, registry,
+            critical_path=analyses,
         )
     if args.check_report:
         path, merged = write_aggregate(args.check_report)

@@ -21,6 +21,10 @@ Entry points:
 * :mod:`repro.obs.health` — anomaly detectors over the telemetry bank
   producing typed findings and a per-run verdict.
 * :mod:`repro.obs.report` — self-contained HTML + JSON run reports.
+* :mod:`repro.obs.spans` — causal span/edge recorder (message edges,
+  sync-phase spans, block intervals) over the event stream.
+* :mod:`repro.obs.causal` — critical-path extraction, per-level latency
+  attribution, and round-depth measurement over recorded spans.
 """
 
 from repro.obs.events import (
@@ -31,6 +35,8 @@ from repro.obs.events import (
     MsgDeliver,
     MsgSend,
     NicQueue,
+    PhaseBegin,
+    PhaseEnd,
     ProcBlock,
     ProcWake,
     RecordingSink,
@@ -67,6 +73,7 @@ from repro.obs.health import (
     evaluate_health,
 )
 from repro.obs.report import build_report, render_html, write_report
+from repro.obs.spans import MessageEdge, PhaseSpan, SpanRecorder
 
 __all__ = [
     "CollectiveEnter",
@@ -80,13 +87,18 @@ __all__ = [
     "HealthThresholds",
     "HealthVerdict",
     "Histogram",
+    "MessageEdge",
     "MetricsRegistry",
     "MsgDeliver",
     "MsgSend",
     "NicQueue",
+    "PhaseBegin",
+    "PhaseEnd",
+    "PhaseSpan",
     "ProcBlock",
     "ProcWake",
     "RecordingSink",
+    "SpanRecorder",
     "SyncRoundRecord",
     "SyncStatsCollector",
     "TimeSeries",

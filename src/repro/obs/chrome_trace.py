@@ -7,7 +7,10 @@ Two record sources are supported, separately or combined:
 * engine events from :mod:`repro.obs.events` — collective enter/exit as
   ``"B"``/``"E"`` stacks, blocked intervals as ``"X"`` slices, message
   sends/deliveries as ``"i"`` instants and NIC backlog as ``"C"`` counter
-  samples.
+  samples.  With ``include_flows`` each send→deliver pair additionally
+  becomes a Perfetto flow arrow (``"s"``/``"f"`` events bound by the
+  message ``seq``), rendering the causal edges the critical-path
+  analysis (:mod:`repro.obs.causal`) walks.
 
 Timestamp remapping (the point of the paper's Fig. 10): engine events
 carry *true* simulation times, and tracer events can carry them too.  Pass
@@ -100,13 +103,17 @@ def engine_events_to_chrome(
     time_unit: float = 1e-6,
     pid: int = 0,
     include_messages: bool = True,
+    include_flows: bool = False,
 ) -> list[dict]:
     """Convert an engine event stream to Chrome trace records.
 
     Collective enter/exit become ``"B"``/``"E"`` stacks, blocked intervals
     (``ProcBlock`` → next ``ProcWake`` of the same rank) become ``"X"``
     slices, message events become instants and NIC queueing becomes a
-    per-node counter track.
+    per-node counter track.  ``include_flows`` adds one ``"s"``/``"f"``
+    flow-event pair per delivered message (id = message ``seq``), which
+    Perfetto renders as a causal arrow from the send instant to the
+    delivery instant.
     """
     records: list[dict] = []
     open_blocks: dict[int, ProcBlock] = {}
@@ -201,6 +208,18 @@ def engine_events_to_chrome(
                              "seq": event.seq, "level": event.level},
                 }
             )
+            if include_flows:
+                records.append(
+                    {
+                        "name": "msg",
+                        "cat": "p2p.flow",
+                        "ph": "s",
+                        "id": event.seq,
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": event.rank,
+                    }
+                )
         elif include_messages and isinstance(event, MsgDeliver):
             records.append(
                 {
@@ -216,6 +235,19 @@ def engine_events_to_chrome(
                              "latency_us": event.latency / time_unit},
                 }
             )
+            if include_flows:
+                records.append(
+                    {
+                        "name": "msg",
+                        "cat": "p2p.flow",
+                        "ph": "f",
+                        "bp": "e",
+                        "id": event.seq,
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": event.rank,
+                    }
+                )
         elif isinstance(event, NicQueue):
             records.append(
                 {
@@ -244,11 +276,13 @@ def chrome_trace_json(records: Sequence[dict], shift_to_zero: bool = True) -> st
     """
     if not records:
         return "[]"
-    phase_order = {"B": 0, "X": 1, "i": 2, "C": 3, "E": 4}
+    # Flow starts ("s") sort right after their send instant and flow
+    # finishes ("f") right after the delivery instant they bind to.
+    phase_order = {"B": 0, "X": 1, "i": 2, "s": 3, "f": 4, "C": 5, "E": 6}
     ordered = sorted(
         records,
         key=lambda r: (r["pid"], r["tid"], r["ts"],
-                       phase_order.get(r["ph"], 5)),
+                       phase_order.get(r["ph"], 7)),
     )
     if shift_to_zero:
         t0 = min(r["ts"] for r in ordered)
@@ -268,6 +302,7 @@ def export_chrome_trace(
     clock_of: ClockOf | None = None,
     time_unit: float = 1e-6,
     include_messages: bool = True,
+    include_flows: bool = False,
 ) -> int:
     """Write a combined Chrome trace file; returns the record count."""
     records = trace_events_to_chrome(
@@ -275,7 +310,7 @@ def export_chrome_trace(
     )
     records += engine_events_to_chrome(
         engine_events, clock_of=clock_of, time_unit=time_unit,
-        include_messages=include_messages,
+        include_messages=include_messages, include_flows=include_flows,
     )
     payload = chrome_trace_json(records)
     with open(path, "w", encoding="utf-8") as fh:

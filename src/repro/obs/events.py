@@ -50,6 +50,15 @@ class MsgDeliver:
     seq: int
     #: send-to-delivery latency (true time, includes queueing + overheads).
     latency: float
+    #: True arrival time at the receiver (before the o_recv charge), or
+    #: -1.0 for streams recorded before the field existed.
+    arrival: float = -1.0
+    #: True when the receiver's timeline was advanced *to* the arrival —
+    #: i.e. the receiver sat waiting and this delivery is the binding
+    #: dependency that let it proceed (the edge the critical-path walk in
+    #: :mod:`repro.obs.causal` follows).  False when the message was
+    #: already waiting in the mailbox.
+    waited: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,10 +74,19 @@ class ProcBlock:
 
 @dataclass(frozen=True, slots=True)
 class ProcWake:
-    """A blocked process became runnable again."""
+    """A blocked process became runnable again.
+
+    ``cause`` names what released it — ``"deliver"`` (a matching message
+    arrived for a blocked receive) or ``"ack"`` (a rendezvous sender's
+    ack returned) — with ``seq`` the responsible message, so wakes are
+    causal edges and not just state flips.  Both default to their
+    "unknown" values for streams recorded before the fields existed.
+    """
 
     time: float
     rank: int
+    cause: str = ""
+    seq: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +159,40 @@ class CollectiveExit:
     comm_size: int
 
 
+@dataclass(frozen=True, slots=True)
+class PhaseBegin:
+    """A rank entered an annotated algorithm phase.
+
+    Emitted by the sync layer (``sync.learn`` / ``sync.offset`` /
+    ``sync.resync``) on *both* sides of a pairwise exchange with
+    identical descriptors, so a phase instance is identified by
+    ``(name, algorithm, level, round_index, ref, peer)`` regardless of
+    which rank's events are inspected.  The critical-path analysis in
+    :mod:`repro.obs.causal` counts distinct ``sync.learn`` instances
+    traversed to measure empirical round depth.
+    """
+
+    time: float
+    rank: int
+    name: str
+    algorithm: str = ""
+    level: str = ""
+    round_index: int = -1
+    #: Global rank of the pair's reference side (-1 when not pairwise).
+    ref: int = -1
+    #: Global rank of the pair's client side (-1 when not pairwise).
+    peer: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseEnd:
+    """A rank left an annotated algorithm phase (matches by ``name``)."""
+
+    time: float
+    rank: int
+    name: str
+
+
 Event = (
     MsgSend
     | MsgDeliver
@@ -151,6 +203,8 @@ Event = (
     | ResyncRound
     | CollectiveEnter
     | CollectiveExit
+    | PhaseBegin
+    | PhaseEnd
 )
 
 

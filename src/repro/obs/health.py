@@ -24,6 +24,12 @@ fifth scans the service layer's stale-read-rate series:
   (fraction of responses whose error bound exceeded the SLO) stays out
   of tolerance for a sustained window: the resync policy is losing
   against the drift.
+* **depth anomaly** — the causal tracing layer's measured sync-round
+  critical-path depth (``sync.critical.depth_ratio``, measured depth
+  over the algorithm's expected O(log p) / O(p) bound) exceeds 1: the
+  round's critical path is deeper than the algorithm's structure
+  predicts — an early signal for delay attacks, congestion, or a
+  broken tree (the ROADMAP item-2 adversary scenarios).
 
 Everything is pure ``math`` over retained points (no numpy), so verdicts
 are bit-deterministic and goldenable; ``to_dict`` rounds floats to 12
@@ -43,6 +49,9 @@ SEVERITIES = ("info", "warning", "critical")
 ERROR_METRIC = "clock.error"
 #: Metric (unscoped) name of the service stale-read-rate series.
 STALE_METRIC = "service.stale_rate"
+#: Metric (unscoped) name of the critical-path depth-ratio series
+#: (measured level depth / expected bound, deposited by --critical-path).
+DEPTH_METRIC = "sync.critical.depth_ratio"
 #: Marker metric names the detectors correlate against.
 RESYNC_MARKER = "resync"
 FAULT_MARKER = "fault"
@@ -76,6 +85,11 @@ class HealthThresholds:
     stale_window: float = 2.0
     #: Rate at which a stale-read finding escalates to critical.
     stale_rate_critical: float = 0.25
+    #: Measured/expected critical-path depth ratio above this is a
+    #: depth anomaly (1.0 = exactly the structural bound).
+    depth_ratio: float = 1.0
+    #: Ratio at which a depth anomaly escalates to critical.
+    depth_ratio_critical: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -416,6 +430,59 @@ def detect_stale_reads(
     return findings
 
 
+def _depth_series(bank: TimeSeriesBank):
+    """All ``sync.critical.depth_ratio`` series, in bank order.
+
+    One point per traced run is normal (a quick campaign traces one
+    sync), so unlike the trend detectors a single sample is enough.
+    """
+    return [
+        series
+        for (name, _), series in bank.items()
+        if split_scope(name)[1] == DEPTH_METRIC and len(series) >= 1
+    ]
+
+
+def detect_depth_anomalies(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """Critical-path depth above the algorithm's structural bound.
+
+    The causal tracer deposits one ``sync.critical.depth_ratio`` sample
+    per traced run: measured learn-round depth on the critical path
+    divided by the expected bound (ceil(log2 p) + slack for tree
+    algorithms, p - 1 for flat ones).  A healthy round sits at or below
+    1; a ratio above it means the path zig-zagged through more rounds
+    than the structure predicts — congestion, a delay attack, or a
+    mis-built tree.
+    """
+    th = th or HealthThresholds()
+    findings = []
+    for series in _depth_series(bank):
+        for time, ratio in series.points:
+            if ratio <= th.depth_ratio:
+                continue
+            severity = (
+                "critical" if ratio >= th.depth_ratio_critical
+                else "warning"
+            )
+            findings.append(HealthFinding(
+                detector="depth_anomaly",
+                severity=severity,
+                series=series.name,
+                rank=series.rank,
+                start=time,
+                end=time,
+                value=ratio,
+                threshold=th.depth_ratio,
+                message=(
+                    f"critical-path depth ratio {ratio:.3g} exceeds the "
+                    f"structural bound (x{th.depth_ratio:g})"
+                ),
+            ))
+    return findings
+
+
 #: The full detector sweep, in report order.
 DETECTORS = (
     ("drift_excursion", detect_drift_excursions),
@@ -423,6 +490,7 @@ DETECTORS = (
     ("resync_latency", detect_resync_latency),
     ("stuck_clock", detect_stuck_clocks),
     ("stale_read", detect_stale_reads),
+    ("depth_anomaly", detect_depth_anomalies),
 )
 
 

@@ -46,12 +46,15 @@ def build_report(
     metrics: MetricsRegistry | None = None,
     verdict: HealthVerdict | None = None,
     meta: dict | None = None,
+    critical_path: list[dict] | None = None,
 ) -> dict:
     """Assemble the machine-readable report dict.
 
     ``meta`` should describe the run (targets, scale, seed, scenario) —
     never the execution configuration (``jobs``), which must not leak
-    into the report.
+    into the report.  ``critical_path`` takes the per-run analyses from
+    :func:`repro.obs.causal.analyze_recorder` (already rounded and
+    deterministic) when the campaign was traced.
     """
     report: dict = {
         "report_version": REPORT_VERSION,
@@ -81,6 +84,8 @@ def build_report(
         report["timeseries"] = dump
     if verdict is not None:
         report["health"] = verdict.to_dict()
+    if critical_path is not None:
+        report["critical_path"] = critical_path
     return report
 
 
@@ -315,6 +320,70 @@ def _render_sparklines(tsd: dict) -> str:
     )
 
 
+def _render_critical_path(analyses: list[dict]) -> str:
+    """Depth table + slowest-round breakdown per traced run."""
+    rows = []
+    for entry in analyses:
+        depth = entry.get("depth", {})
+        cp = entry.get("critical_path", {})
+        ratio = depth.get("ratio", 0.0)
+        status = (
+            "critical" if ratio >= 2.0
+            else "warning" if ratio > 1.0 else "ok"
+        )
+        msg_s = sum(
+            v for k, v in cp.get("by_kind_s", {}).items() if k != "compute"
+        )
+        length = cp.get("length_s") or 1.0
+        rows.append(
+            f'<tr><td class="num">{entry.get("run", 0)}</td>'
+            f'<td class="num">{entry.get("p", 0)}</td>'
+            f'<td class="num">{_fmt(entry.get("duration_s", 0.0))}</td>'
+            f'<td class="num">{depth.get("level_depth", 0)}</td>'
+            f'<td class="num">{depth.get("expected", 0)}</td>'
+            f'<td class="num">{_fmt(ratio)}</td>'
+            f'<td class="num">{100.0 * msg_s / length:.1f}%</td>'
+            f'<td>{html.escape(",".join(depth.get("algorithms", [])))}'
+            f"</td><td>{_status_badge(status)}</td></tr>"
+        )
+    out = [
+        "<section><h2>Sync-round critical path "
+        '<span class="sub">(measured level depth vs the structural '
+        "O(log p) / O(p) bound; msg% = share of the path spent on the "
+        "wire)</span></h2>",
+        "<table><tr><th>Run</th><th>p</th><th>Duration (s)</th>"
+        "<th>Depth</th><th>Bound</th><th>Ratio</th><th>msg%</th>"
+        "<th>Algorithms</th><th>Status</th></tr>",
+        *rows,
+        "</table>",
+    ]
+    longest = max(
+        analyses, key=lambda e: e.get("duration_s", 0.0), default=None
+    )
+    rounds = (longest or {}).get("rounds", [])[:10]
+    if rounds:
+        out += [
+            "<h2 style='margin-top:16px'>Slowest sync rounds "
+            f'<span class="sub">(run {longest.get("run", 0)})</span></h2>',
+            "<table><tr><th>Algorithm</th><th>Level</th><th>Round</th>"
+            "<th>Ref→Peer</th><th>Duration (s)</th><th>On-wire (s)</th>"
+            "<th>Segments</th></tr>",
+            *[
+                f"<tr><td>{html.escape(r['algorithm'])}</td>"
+                f"<td>{html.escape(r['level'] or '-')}</td>"
+                f'<td class="num">{r["round_index"]}</td>'
+                f'<td class="num">{r["ref"]}&rarr;{r["peer"]}</td>'
+                f'<td class="num">{_fmt(r["duration_s"])}</td>'
+                f'<td class="num">{_fmt(r["path_msg_s"])}</td>'
+                f'<td class="num">{r["segments"]}</td></tr>'
+                for r in rounds
+            ],
+            "</table>",
+        ]
+    out.append("</section>")
+    return "".join(out)
+
+
 def _render_metrics(metricsd: dict) -> str:
     out = ["<section><h2>Metrics</h2>"]
     counters = metricsd.get("counters", {})
@@ -377,6 +446,8 @@ def render_html(report: dict) -> str:
     ]
     if "health" in report:
         body.append(_render_health(report["health"]))
+    if report.get("critical_path"):
+        body.append(_render_critical_path(report["critical_path"]))
     if "timeseries" in report:
         body.append(_render_sparklines(report["timeseries"]))
     if "metrics" in report:

@@ -144,6 +144,11 @@ def _merge_obs(
             for name, n in payload.items():
                 counts[name] = counts.get(name, 0) + n
         elif sink_mode == "record":
+            # Span recorders segment their history per engine run; a
+            # replayed job is a fresh seq namespace, so break first.
+            brk = getattr(parent_sink, "run_break", None)
+            if brk is not None:
+                brk()
             for event in payload:
                 parent_sink.emit(event)
     if parent_metrics is not None and registry is not None:

@@ -32,8 +32,16 @@ CLI::
     python -m repro.perf.scaling [--p 32 128 512 2048 4096]
                                  [--workload ring] [--queue calendar]
                                  [--budget 25600] [--seed 0] [--no-zones]
+                                 [--label hca/8/skampi_offset/4]
+                                 [--depth] [--critical-path DIR]
                                  [--compare] [--record LABEL]
                                  [--output BENCH.json]
+
+``--depth`` (fig3 workload) re-runs each point once under a causal span
+recorder and records the sync round's measured critical-path depth vs
+its structural bound (``sync_depth`` per point; see
+:mod:`repro.obs.causal`) — the empirical log-p-vs-p depth separation of
+tree and flat algorithms, straight from the traced DAG.
 """
 
 from __future__ import annotations
@@ -71,11 +79,11 @@ FIG3_LABEL = "hca/8/skampi_offset/4"
 RANKS_PER_NODE = 4
 
 
-def _fig3_main():
-    """SPMD body: one flat-HCA clock synchronization, no accuracy check."""
+def _fig3_main(label: str = FIG3_LABEL):
+    """SPMD body: one clock synchronization, no accuracy check."""
     from repro.sync.registry import algorithm_from_label
 
-    algorithm = algorithm_from_label(FIG3_LABEL, fitpoint_spacing=1e-3)
+    algorithm = algorithm_from_label(label, fitpoint_spacing=1e-3)
 
     def main(ctx, comm):
         yield from algorithm.sync_clocks(comm, ctx.hardware_clock)
@@ -84,15 +92,19 @@ def _fig3_main():
     return main
 
 
-def _build(
-    p: int, workload: str, budget: int, seed: int,
-    event_queue: str = "calendar",
-):
-    """(simulation factory, SPMD body, params dict) for one sweep point."""
+def _check_p(p: int) -> None:
     if p < RANKS_PER_NODE or p % RANKS_PER_NODE:
         raise ValueError(
             f"p={p} must be a multiple of {RANKS_PER_NODE}"
         )
+
+
+def _build(
+    p: int, workload: str, budget: int, seed: int,
+    event_queue: str = "calendar", label: str = FIG3_LABEL,
+):
+    """(simulation factory, SPMD body, params dict) for one sweep point."""
+    _check_p(p)
     machine = ring_machine(p // RANKS_PER_NODE, RANKS_PER_NODE)
 
     def make_sim(profiler: Profiler | None = None) -> Simulation:
@@ -105,8 +117,58 @@ def _build(
         nrounds = max(4, budget // p)
         return make_sim, lambda: _ring_main(nrounds), {"nrounds": nrounds}
     if workload == "fig3":
-        return make_sim, _fig3_main, {"label": FIG3_LABEL}
+        return make_sim, lambda: _fig3_main(label), {"label": label}
     raise ValueError(f"unknown workload {workload!r}")
+
+
+def depth_probe(
+    p: int,
+    label: str = FIG3_LABEL,
+    seed: int = 0,
+    event_queue: str = "calendar",
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Trace one synchronization; measure its critical-path round depth.
+
+    Re-runs the fig3 workload with a causal span recorder attached
+    (which disables the engine's quiet fast path, so this stays separate
+    from the unobserved timing run) and condenses the critical-path
+    analysis to the per-point fields the benchmark trajectory keeps:
+    measured level depth vs the algorithm's structural bound
+    (``ceil(log2 p)``-shaped for tree algorithms, ``p - 1`` for flat
+    ones).  Returns ``(summary, full_analysis)``; everything in the
+    summary except ``wall_s`` is bit-deterministic.
+    """
+    from repro.obs.causal import analyze_recorder
+    from repro.obs.spans import SpanRecorder
+
+    _check_p(p)
+    machine = ring_machine(p // RANKS_PER_NODE, RANKS_PER_NODE)
+    recorder = SpanRecorder()
+    sim = Simulation(
+        machine=machine, network=infiniband_qdr(), seed=seed,
+        sink=recorder, event_queue=event_queue,
+    )
+    t0 = time.perf_counter()
+    sim.run(_fig3_main(label))
+    wall = time.perf_counter() - t0
+    analysis = analyze_recorder(recorder)[0]
+    depth = analysis["depth"]
+    cp = analysis["critical_path"]
+    msg_s = sum(v for k, v in cp["by_kind_s"].items() if k != "compute")
+    summary = {
+        "p": p,
+        "label": label,
+        "level_depth": depth["level_depth"],
+        "round_depth": depth["round_depth"],
+        "expected_depth": depth["expected"],
+        "depth_ratio": depth["ratio"],
+        "duration_s": analysis["duration_s"],
+        "path_msg_fraction": round(
+            msg_s / cp["length_s"] if cp["length_s"] else 0.0, 12
+        ),
+        "wall_s": wall,
+    }
+    return summary, analysis
 
 
 def probe_point(
@@ -116,6 +178,7 @@ def probe_point(
     seed: int = 0,
     zones: bool = True,
     event_queue: str = "calendar",
+    label: str = FIG3_LABEL,
 ) -> dict[str, Any]:
     """Measure one rank count: throughput (unprofiled) + zone breakdown.
 
@@ -125,7 +188,7 @@ def probe_point(
     regression gate never compares different kernel implementations.
     """
     make_sim, make_main, params = _build(
-        p, workload, budget, seed, event_queue=event_queue
+        p, workload, budget, seed, event_queue=event_queue, label=label
     )
     sim = make_sim()
     t0 = time.perf_counter()
@@ -163,14 +226,31 @@ def scaling_probe(
     zones: bool = True,
     verbose: bool = False,
     event_queue: str = "calendar",
+    label: str = FIG3_LABEL,
+    depth: bool = False,
+    depth_analyses: list | None = None,
 ) -> dict[str, Any]:
-    """Sweep ``p_values``; returns the entry's ``scaling`` section."""
+    """Sweep ``p_values``; returns the entry's ``scaling`` section.
+
+    With ``depth=True`` (fig3 workload only) every point also runs one
+    traced synchronization through :func:`depth_probe` and records the
+    measured critical-path depth in the point's ``sync_depth`` section;
+    the full per-run analyses are appended to ``depth_analyses`` when a
+    list is passed (for ``--critical-path`` artifact export).
+    """
     points = []
     for p in p_values:
         point = probe_point(
             p, workload=workload, budget=budget, seed=seed, zones=zones,
-            event_queue=event_queue,
+            event_queue=event_queue, label=label,
         )
+        if depth and workload == "fig3":
+            summary, analysis = depth_probe(
+                p, label=label, seed=seed, event_queue=event_queue
+            )
+            point["sync_depth"] = summary
+            if depth_analyses is not None:
+                depth_analyses.append(analysis)
         points.append(point)
         if verbose:
             print(
@@ -180,6 +260,14 @@ def scaling_probe(
                 f"{point['events_per_sec']:10,.0f} events/s",
                 flush=True,
             )
+            sync_depth = point.get("sync_depth")
+            if sync_depth:
+                print(
+                    f"         sync depth: {sync_depth['level_depth']} "
+                    f"(bound {sync_depth['expected_depth']}, "
+                    f"ratio {sync_depth['depth_ratio']:.2f}) over a "
+                    f"{sync_depth['duration_s']:.4f}s round"
+                )
             if zones:
                 rows = sorted(
                     point["zones"]["zones"].items(),
@@ -190,13 +278,16 @@ def scaling_probe(
                         f"         {path}: {z['self_ns'] / 1e6:.1f}ms self "
                         f"({z['count']}x)"
                     )
-    return {
+    section: dict[str, Any] = {
         "workload": workload,
         "budget": budget,
         "seed": seed,
         "event_queue": event_queue,
         "points": points,
     }
+    if workload == "fig3":
+        section["label"] = label
+    return section
 
 
 def compare_to_trajectory(
@@ -266,6 +357,21 @@ def main(argv: list[str] | None = None) -> int:
         help="ring workload: total messages per point "
              f"(default: {DEFAULT_BUDGET})",
     )
+    parser.add_argument(
+        "--label", default=FIG3_LABEL,
+        help="fig3 workload: sync-algorithm label to probe "
+             f"(default: {FIG3_LABEL})",
+    )
+    parser.add_argument(
+        "--depth", action="store_true",
+        help="fig3 workload: additionally run one traced sync per point "
+             "and record its critical-path round depth (sync_depth)",
+    )
+    parser.add_argument(
+        "--critical-path", metavar="DIR",
+        help="with --depth: write the traced runs' critical_path.json "
+             "under DIR",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--no-zones", action="store_true",
@@ -290,6 +396,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.depth and args.workload != "fig3":
+        print("--depth requires --workload fig3", file=sys.stderr)
+        return 2
+    depth_analyses: list = []
     scaling = scaling_probe(
         p_values=args.p,
         workload=args.workload,
@@ -298,9 +408,21 @@ def main(argv: list[str] | None = None) -> int:
         zones=not args.no_zones,
         verbose=not args.json,
         event_queue=args.queue,
+        label=args.label,
+        depth=args.depth,
+        depth_analyses=depth_analyses,
     )
     if args.json:
         print(json.dumps(scaling, indent=2, sort_keys=True))
+    if args.critical_path and depth_analyses:
+        from repro.obs.causal import write_critical_path
+
+        cp_path = write_critical_path(
+            args.critical_path, depth_analyses,
+            meta={"workload": args.workload, "label": args.label,
+                  "p": list(args.p), "seed": args.seed},
+        )
+        print(f"critical_path.json: {cp_path}", file=sys.stderr)
     if args.compare:
         for row in compare_to_trajectory(scaling, args.output):
             prior = row["prior"]

@@ -51,3 +51,20 @@ def binomial_parent(relative_rank: int, size: int) -> int | None:
     if mask == 0:
         return None
     return relative_rank - mask
+
+
+def binomial_depth(relative_rank: int, size: int) -> int:
+    """Number of tree levels between ``relative_rank`` and the root.
+
+    0 for the root; at most ``ceil(log2 size)`` for any rank.  Used by
+    the causal tracing layer to annotate collective phases with their
+    tree position and to bound expected critical-path depth.
+    """
+    depth = 0
+    rank = relative_rank
+    while True:
+        parent = binomial_parent(rank, size)
+        if parent is None:
+            return depth
+        depth += 1
+        rank = parent

@@ -837,7 +837,8 @@ class Engine:
             dest.now = resume_at
             if sink is not None:
                 sink.emit(obs_events.ProcWake(
-                    time=resume_at, rank=dest.rank
+                    time=resume_at, rank=dest.rank,
+                    cause="deliver", seq=seq,
                 ))
             dest.pending_value = self._finish_delivery(dest, msg)
             self._schedule(dest, resume_at)
@@ -991,6 +992,10 @@ class Engine:
     def _finish_delivery(self, proc: _Proc, msg: Message) -> Message:
         """Charge receive overhead and release a rendezvous sender."""
         prof = self.profiler
+        # Binding-edge detection for the causal DAG: both call paths
+        # assign (never compute past) the arrival when the receiver had
+        # to wait for this message, so exact equality is reliable here.
+        waited = proc.now == msg.arrival
         proc.now += self.network.o_recv
         self.messages_delivered += 1
         self.bytes_delivered += msg.size
@@ -1000,6 +1005,7 @@ class Engine:
                 time=proc.now, rank=proc.rank, source=msg.source,
                 tag=msg.tag, size=msg.size, seq=msg.seq,
                 latency=proc.now - msg.send_time,
+                arrival=msg.arrival, waited=waited,
             ))
             if prof is not None:
                 prof.add("obs.sink", prof.clock() - t0)
@@ -1033,7 +1039,8 @@ class Engine:
             sender.blocked = None
             if self.sink is not None:
                 self.sink.emit(obs_events.ProcWake(
-                    time=sender.now, rank=sender.rank
+                    time=sender.now, rank=sender.rank,
+                    cause="ack", seq=msg.seq,
                 ))
             if self.metrics is not None:
                 self.metrics.histogram(

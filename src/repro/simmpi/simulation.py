@@ -309,6 +309,22 @@ class Simulation:
             comm_rank=rank,
         )
 
+    def _span_recorder(self):
+        """The attached span recorder, if one is (tee'd) in the sink.
+
+        Duck-typed on ``open_edge_count`` so the check layer needn't
+        import the obs layer; used to cross-validate the recorder's
+        open-edge count against the sanitizer at finalize time.
+        """
+        sink = self.sink
+        candidates = getattr(sink, "parts", None)
+        if candidates is None:
+            candidates = (sink,)
+        for part in candidates:
+            if hasattr(part, "open_edge_count"):
+                return part
+        return None
+
     def run(self, main: MainFn) -> SimulationResult:
         """Execute ``main(ctx, world)`` on every rank to completion."""
         prof = self.profiler
@@ -325,7 +341,9 @@ class Simulation:
         report: CheckReport | None = None
         if self.checker is not None:
             start = prof.push("check.finalize") if prof is not None else 0
-            report = self.checker.finalize(self.engine)
+            report = self.checker.finalize(
+                self.engine, spans=self._span_recorder()
+            )
             if self.checker.mode == "report":
                 out_dir = check_report_dir()
                 if out_dir is not None:

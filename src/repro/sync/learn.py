@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from repro.errors import SyncError
+from repro.obs.events import PhaseBegin, PhaseEnd
 from repro.obs.sync_stats import (
     FitpointSample,
     SyncRoundRecord,
@@ -88,6 +89,17 @@ def learn_clock_model(
     if nfitpoints < 1:
         raise SyncError("nfitpoints must be >= 1")
     rank = comm.rank
+    # Causal phase annotations: both sides emit the identical instance
+    # descriptor, so the span recorder can attribute any on-path
+    # activity of either rank to this learn round.
+    sink = comm.ctx.engine.sink
+    if sink is not None:
+        sink.emit(PhaseBegin(
+            time=comm.ctx.now, rank=comm.ctx.rank, name="sync.learn",
+            algorithm=algorithm or offset_alg.name, level=level,
+            round_index=round_index, ref=comm.global_rank(p_ref),
+            peer=comm.global_rank(client),
+        ))
     if rank == p_ref:
         for _ in range(nfitpoints):
             yield from offset_alg.measure_offset(comm, clock, p_ref, client)
@@ -95,6 +107,10 @@ def learn_clock_model(
             yield from compute_and_set_intercept(
                 comm, None, clock, p_ref, client, offset_alg
             )
+        if sink is not None:
+            sink.emit(PhaseEnd(
+                time=comm.ctx.now, rank=comm.ctx.rank, name="sync.learn",
+            ))
         return None
     if rank != client:
         raise SyncError(
@@ -161,4 +177,8 @@ def learn_clock_model(
         lm = yield from compute_and_set_intercept(
             comm, lm, clock, p_ref, client, offset_alg
         )
+    if sink is not None:
+        sink.emit(PhaseEnd(
+            time=comm.ctx.now, rank=comm.ctx.rank, name="sync.learn",
+        ))
     return lm

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Generator
 import numpy as np
 
 from repro.errors import SyncError
+from repro.obs.events import PhaseBegin, PhaseEnd
 from repro.simtime.base import Clock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,6 +74,26 @@ class OffsetAlgorithm(abc.ABC):
     def label(self) -> str:
         return f"{self.name}/{self.nexchanges}"
 
+    # -- causal phase annotations (see repro.obs.spans) ---------------
+    def _phase_begin(self, comm: "Communicator", p_ref: int,
+                     client: int) -> None:
+        sink = comm.ctx.engine.sink
+        if sink is not None:
+            sink.emit(PhaseBegin(
+                time=comm.ctx.now, rank=comm.ctx.rank,
+                name="sync.offset", algorithm=self.name,
+                ref=comm.global_rank(p_ref),
+                peer=comm.global_rank(client),
+            ))
+
+    def _phase_end(self, comm: "Communicator") -> None:
+        sink = comm.ctx.engine.sink
+        if sink is not None:
+            sink.emit(PhaseEnd(
+                time=comm.ctx.now, rank=comm.ctx.rank,
+                name="sync.offset",
+            ))
+
 
 class SKaMPIOffset(OffsetAlgorithm):
     """Algorithm 7: minimum-delay window around the reference timestamp."""
@@ -88,6 +109,7 @@ class SKaMPIOffset(OffsetAlgorithm):
     ) -> Generator:
         ctx = comm.ctx
         rank = comm.rank
+        self._phase_begin(comm, p_ref, client)
         if rank == p_ref:
             for _ in range(self.nexchanges):
                 yield from comm.recv(client, PINGPONG_TAG)
@@ -95,6 +117,7 @@ class SKaMPIOffset(OffsetAlgorithm):
                 yield from comm.send(
                     client, PINGPONG_TAG, t_last, TIMESTAMP_BYTES
                 )
+            self._phase_end(comm)
             return None
         if rank != client:
             raise SyncError(
@@ -121,6 +144,7 @@ class SKaMPIOffset(OffsetAlgorithm):
             # The exchange wall time itself lives in the engine's
             # send/recv zones; this marks one completed offset round.
             prof.tick("sync.offset.rounds")
+        self._phase_end(comm)
         return ClockOffset(
             timestamp=timestamp, offset=-diff, rtt=float(rtt_min)
         )
@@ -175,6 +199,7 @@ class MeanRTTOffset(OffsetAlgorithm):
     ) -> Generator:
         ctx = comm.ctx
         rank = comm.rank
+        self._phase_begin(comm, p_ref, client)
         # Keyed by engine identity too: an algorithm instance reused across
         # simulated mpiruns must not recycle a dead run's RTT estimate.
         key = (id(ctx.engine), comm.comm_id, p_ref, client)
@@ -190,6 +215,7 @@ class MeanRTTOffset(OffsetAlgorithm):
                 yield from comm.ssend(
                     client, PINGPONG_TAG, tlocal, TIMESTAMP_BYTES
                 )
+            self._phase_end(comm)
             return None
         if rank != client:
             raise SyncError(
@@ -218,6 +244,7 @@ class MeanRTTOffset(OffsetAlgorithm):
         if prof is not None:
             prof.pop(t0)
             prof.tick("sync.offset.rounds")
+        self._phase_end(comm)
         return offset
 
 

@@ -34,7 +34,7 @@ import abc
 from typing import TYPE_CHECKING, Generator
 
 from repro.errors import SyncError
-from repro.obs.events import ResyncRound
+from repro.obs.events import PhaseBegin, PhaseEnd, ResyncRound
 from repro.simtime.base import Clock
 from repro.sync.base import ClockSyncAlgorithm
 
@@ -104,13 +104,25 @@ class ResyncClock(abc.ABC):
             )
         self.last_age = age
         if stale:
+            engine = ctx.engine
+            if engine.sink is not None:
+                # Bound the round for the causal span recorder; every
+                # rank reports the same round_index (collective branch).
+                engine.sink.emit(PhaseBegin(
+                    time=ctx.now, rank=ctx.rank, name="sync.resync",
+                    algorithm=getattr(self.algorithm, "name", ""),
+                    round_index=self.resync_count + 1,
+                ))
             self._clock = yield from self.algorithm.sync_clocks(
                 comm, ctx.hardware_clock
             )
+            if engine.sink is not None:
+                engine.sink.emit(PhaseEnd(
+                    time=ctx.now, rank=ctx.rank, name="sync.resync",
+                ))
             self._synced_at = ctx.read_clock(self._clock)
             self.resync_count += 1
             # Recovery is observable: one event + counter tick per round.
-            engine = ctx.engine
             if engine.profiler is not None:
                 # The round's wall time is spread over the engine zones
                 # (the sync traffic yields); count the round itself.

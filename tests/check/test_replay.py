@@ -57,6 +57,10 @@ class TestEventRoundTrip:
             ev.FaultInject(time=5.0, rank=-1, kind="clock_step",
                            name="ntp", target="node 1", duration=0.0),
             ev.ResyncRound(time=3.0, rank=0, round_index=1, age=0.5),
+            ev.PhaseBegin(time=1.0, rank=0, name="sync.learn",
+                          algorithm="hca", level="GLOBAL", round_index=2,
+                          ref=0, peer=3),
+            ev.PhaseEnd(time=2.0, rank=0, name="sync.learn"),
             ev.CollectiveEnter(time=1.0, rank=0, name="MPI_Barrier",
                                comm_id=0, comm_rank=0, comm_size=4),
             ev.CollectiveExit(time=2.0, rank=0, name="MPI_Barrier",

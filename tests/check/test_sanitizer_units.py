@@ -238,6 +238,55 @@ class TestStatsConsistency:
         assert "stats-consistency" in rules_of(s.report)
 
 
+class TestSpanCrossCheck:
+    """The sanitizer and a tee'd span recorder must agree on open edges."""
+
+    def _pair(self, events):
+        from repro.obs.spans import SpanRecorder
+
+        s = reporting()
+        recorder = SpanRecorder()
+        tee = TeeSink(s, recorder)
+        for event in events:
+            tee.emit(event)
+        return s, recorder
+
+    def test_agreeing_layers_clean(self):
+        s, recorder = self._pair([
+            send(time=1.0, seq=0),
+            deliver(time=2.0, seq=0),
+            send(time=3.0, seq=1),  # still in flight — both layers see it
+        ])
+        s.finalize(
+            _FakeEngine(sent=2, delivered=1, unreceived=1), spans=recorder
+        )
+        assert rules_of(s.report) == []
+
+    def test_tampered_recorder_flagged(self):
+        s, recorder = self._pair([
+            send(time=1.0, seq=0),
+            deliver(time=2.0, seq=0),
+        ])
+        # Simulate a recorder that mis-parsed the stream: an edge it
+        # thinks is still open that the sanitizer saw delivered.
+        recorder.run.open_sends[99] = send(time=1.5, seq=99)
+        s.finalize(spans=recorder)
+        found = [v for v in s.report.violations
+                 if v.rule == "stats-consistency"]
+        assert found
+        assert found[0].details["stat"] == "open_edges"
+
+    def test_engine_arbitrates_when_present(self):
+        s, recorder = self._pair([send(time=1.0, seq=0)])
+        # All three layers disagree-free except the engine stat.
+        s.finalize(
+            _FakeEngine(sent=1, delivered=0, unreceived=0), spans=recorder
+        )
+        stats_rules = [v.details.get("stat") for v in s.report.violations
+                       if v.rule == "stats-consistency"]
+        assert "messages_unreceived" in stats_rules
+
+
 class TestReportMechanics:
     def test_violation_cap(self):
         s = reporting()

@@ -42,6 +42,55 @@ class TestMain:
         assert "Fig. 2" in out
 
 
+class TestCriticalPathFlag:
+    def test_writes_artifact_and_prints_table(self, tmp_path, capsys):
+        cp_dir = tmp_path / "cp"
+        report_dir = tmp_path / "health"
+        assert main([
+            "fig3", "--critical-path", str(cp_dir),
+            "--health-report", str(report_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "=== sync-round critical path ===" in out
+        assert "depth" in out
+
+        with open(cp_dir / "critical_path.json") as fh:
+            doc = json.load(fh)
+        assert doc["critical_path_version"] == 1
+        assert doc["meta"]["targets"] == ["fig3"]
+        assert doc["runs"]
+        for entry in doc["runs"]:
+            assert entry["open_edges"] == 0
+            assert entry["depth"]["level_depth"] >= 1
+
+        # The measured depth ratios feed the health report: a depth
+        # series and a rendered critical-path section must both land.
+        with open(report_dir / "report.json") as fh:
+            report = json.load(fh)
+        series_names = {s["name"] for s in report["timeseries"]["series"]}
+        assert "sync.critical.depth_ratio" in series_names
+        assert report["critical_path"]
+        html = (report_dir / "report.html").read_text()
+        assert "Sync-round critical path" in html
+
+    def test_traced_summary_matches_untraced(self, tmp_path, capsys):
+        # --obs-summary composes with --critical-path via a tee; the
+        # message counters must be identical to an untraced run.
+        assert main(["fig3", "--obs-summary"]) == 0
+        untraced = capsys.readouterr().out
+        assert main([
+            "fig3", "--obs-summary", "--critical-path", str(tmp_path),
+        ]) == 0
+        traced = capsys.readouterr().out
+        section = "=== observability summary ==="
+        tail = traced.split(section)[1].split("=== sync-round")[0]
+        assert untraced.split(section)[1].startswith(tail.rstrip())
+
+    def test_no_tracing_flag_leaves_output_clean(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "critical path" not in capsys.readouterr().out
+
+
 class TestProfileFlag:
     def test_profile_writes_artifacts(self, tmp_path, capsys):
         out_dir = tmp_path / "prof"

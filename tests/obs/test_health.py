@@ -18,7 +18,9 @@ import os
 from repro.faults.evaluate import run_recovery
 from repro.faults.scenarios import make_scenario
 from repro.obs.health import (
+    DEPTH_METRIC,
     HealthThresholds,
+    detect_depth_anomalies,
     detect_desync_breaches,
     detect_drift_excursions,
     detect_resync_latency,
@@ -94,6 +96,17 @@ def _bank_stale() -> TimeSeriesBank:
     return bank
 
 
+def _bank_depth() -> TimeSeriesBank:
+    # Depth ratios from four traced runs: a healthy tree round (0.67),
+    # one exactly at the bound (1.0, must NOT fire), one zig-zagging
+    # past it (1.4 → warning), and one twice the bound (2.5 → critical).
+    # A single sample per run is the normal case.
+    bank = TimeSeriesBank()
+    for t, ratio in ((10.1, 0.67), (10.2, 1.0), (10.3, 1.4), (10.4, 2.5)):
+        bank.sample(DEPTH_METRIC, t, ratio)
+    return bank
+
+
 def _findings(case: str) -> list[dict]:
     if case == "desync_breach":
         found = detect_desync_breaches(_bank_ntp_step(None))
@@ -105,6 +118,8 @@ def _findings(case: str) -> list[dict]:
         found = detect_stuck_clocks(_bank_stuck())
     elif case == "stale_read":
         found = detect_stale_reads(_bank_stale())
+    elif case == "depth_anomaly":
+        found = detect_depth_anomalies(_bank_depth())
     else:  # pragma: no cover - test bookkeeping
         raise ValueError(case)
     return [f.to_dict() for f in found]
@@ -112,7 +127,7 @@ def _findings(case: str) -> list[dict]:
 
 CASES = (
     "desync_breach", "resync_latency", "drift_excursion", "stuck_clock",
-    "stale_read",
+    "stale_read", "depth_anomaly",
 )
 
 
@@ -146,6 +161,9 @@ class TestGoldenFindings:
 
     def test_stale_read_golden(self):
         _assert_matches_golden("stale_read")
+
+    def test_depth_anomaly_golden(self):
+        _assert_matches_golden("depth_anomaly")
 
 
 class TestDetectorSemantics:
@@ -186,6 +204,18 @@ class TestDetectorSemantics:
         # A lax tolerance silences the warning-level series.
         lax = HealthThresholds(stale_rate_tolerance=0.1)
         assert all(f.rank == 1 for f in detect_stale_reads(_bank_stale(), lax))
+
+    def test_depth_anomaly_thresholds_and_severity(self):
+        found = detect_depth_anomalies(_bank_depth())
+        # 0.67 and exactly-1.0 are healthy; 1.4 warns, 2.5 is critical.
+        assert [(f.value, f.severity) for f in found] == [
+            (1.4, "warning"), (2.5, "critical"),
+        ]
+        assert all(f.detector == "depth_anomaly" for f in found)
+        # A single sample is enough for this detector (one per traced
+        # run is the normal case) and thresholds stay tunable.
+        lax = HealthThresholds(depth_ratio=3.0)
+        assert not detect_depth_anomalies(_bank_depth(), lax)
 
     def test_verdict_always_reports_all_detectors(self):
         verdict = evaluate_health(TimeSeriesBank())

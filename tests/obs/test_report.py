@@ -64,6 +64,7 @@ class TestReportIdentity:
         assert set(report["health"]["detectors"]) == {
             "drift_excursion", "desync_breach",
             "resync_latency", "stuck_clock", "stale_read",
+            "depth_anomaly",
         }
         assert "parallel.workers" not in report["metrics"]["gauges"]
 
@@ -85,6 +86,36 @@ class TestArtifacts:
         # Self-contained: no external fetches.
         assert "http://" not in html
         assert "https://" not in html
+
+    def test_critical_path_section_renders(self):
+        analyses = [{
+            "run": 0, "p": 16, "duration_s": 10.1,
+            "critical_path": {
+                "length_s": 10.1,
+                "by_kind_s": {"compute": 10.0, "msg": 0.08, "ack": 0.02},
+            },
+            "depth": {"level_depth": 4, "expected": 6, "ratio": 0.67,
+                      "round_depth": 4, "algorithms": ["hca"]},
+            "rounds": [{
+                "algorithm": "hca", "level": "", "round_index": 1,
+                "ref": 0, "peer": 5, "duration_s": 0.01,
+                "path_msg_s": 0.004, "path_compute_s": 0.006,
+                "segments": 12, "max_edge_s": 0.001,
+            }],
+        }]
+        report = build_report(
+            verdict=evaluate_health(TimeSeriesBank()),
+            meta={"targets": ["fig3"]},
+            critical_path=analyses,
+        )
+        assert report["critical_path"] == analyses
+        html = render_html(report)
+        assert "Sync-round critical path" in html
+        assert "Slowest sync rounds" in html
+        assert "hca" in html
+        # Without analyses the section is absent entirely.
+        bare = render_html(build_report(meta={"targets": ["fig3"]}))
+        assert "Sync-round critical path" not in bare
 
     def test_render_html_on_empty_report(self):
         empty = build_report(

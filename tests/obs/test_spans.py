@@ -1,0 +1,147 @@
+"""Span recorder: edge pairing, phase spans, run segmentation."""
+
+from __future__ import annotations
+
+from repro.cluster.netmodels import infiniband_qdr
+from repro.cluster.topology import Machine
+from repro.obs import events as obs_events
+from repro.obs.spans import SpanRecorder
+from repro.simmpi.simulation import Simulation
+from repro.simtime.sources import CLOCK_GETTIME
+from repro.sync.hierarchical import h2hca
+
+#: Tiny skew so clocks differ but sync rounds stay fast.
+QUIET = CLOCK_GETTIME.with_(skew_walk_sigma=1e-9)
+
+
+def traced_sync(num_nodes=4, ranks_per_node=2, seed=2, check=None):
+    """One H2HCA synchronization with a span recorder attached."""
+    recorder = SpanRecorder()
+    algorithm = h2hca(nfitpoints=4, fitpoint_spacing=1e-3)
+
+    def main(ctx, comm):
+        yield from algorithm.sync_clocks(comm, ctx.hardware_clock)
+        return ctx.now
+
+    machine = Machine(
+        num_nodes=num_nodes,
+        sockets_per_node=2,
+        cores_per_socket=max(1, (ranks_per_node + 1) // 2),
+        ranks_per_node=ranks_per_node,
+        name="testbox",
+    )
+    sim = Simulation(
+        machine=machine, network=infiniband_qdr(), time_source=QUIET,
+        seed=seed, sink=recorder, check=check,
+    )
+    sim.run(main)
+    return sim, recorder
+
+
+class TestRecorderAgainstEngine:
+    def test_edges_match_engine_counters(self):
+        sim, recorder = traced_sync()
+        recorder.finalize()
+        (run,) = recorder.completed_runs()
+        stats = sim.engine.stats()
+        assert len(run.edges) == stats["messages_delivered"]
+        assert run.open_edge_count == stats["messages_unreceived"]
+        assert run.ranks == set(range(stats["num_ranks"]))
+        # Per-rank deliver lists partition the closed edges.
+        assert sum(len(v) for v in run.delivers.values()) == len(run.edges)
+
+    def test_edge_time_ordering_and_binding_bits(self):
+        _, recorder = traced_sync()
+        run = recorder.run
+        waited = 0
+        for edge in run.edges.values():
+            assert edge.send_time <= edge.arrival <= edge.deliver_time
+            assert edge.latency > 0.0
+            assert edge.src != edge.dst
+            waited += edge.waited
+        # Ping-pong offset measurement makes most receives blocking.
+        assert waited > 0
+        assert waited <= len(run.edges)
+
+    def test_learn_and_offset_phases_recorded(self):
+        _, recorder = traced_sync()
+        recorder.finalize()
+        (run,) = recorder.completed_runs()
+        spans = [s for spans in run.phases.values() for s in spans]
+        names = {s.name for s in spans}
+        assert {"sync.learn", "sync.offset"} <= names
+        learn = [s for s in spans if s.name == "sync.learn"]
+        for span in learn:
+            assert span.end >= span.begin
+            assert span.algorithm
+            assert span.ref >= 0 and span.peer >= 0
+            assert span.rank in (span.ref, span.peer)
+        # Both sides of every pairwise round emit the same instance key.
+        by_instance: dict[tuple, set[int]] = {}
+        for span in learn:
+            by_instance.setdefault(span.instance_key, set()).add(span.rank)
+        assert by_instance
+        for key, ranks in by_instance.items():
+            assert ranks <= {key[4], key[5]}
+
+    def test_strict_sanitizer_cross_validates_recorder(self):
+        # End-to-end: Simulation.run hands the tee'd recorder to the
+        # sanitizer's finalize, which cross-checks the recorder's open
+        # edges against its own ledger and the engine's counters.  An
+        # honest traced run must survive strict mode.
+        sim, recorder = traced_sync(check="strict")
+        assert recorder.open_edge_count == 0
+        assert sim.checker is not None
+        assert sim.checker.report.ok
+
+
+class TestRunSegmentation:
+    def test_seq_collision_starts_a_new_run(self):
+        recorder = SpanRecorder()
+        send = obs_events.MsgSend(
+            time=1.0, rank=0, dest=1, tag=7, size=8, seq=0, level="LOCAL"
+        )
+        recorder.emit(send)
+        recorder.emit(obs_events.MsgDeliver(
+            time=1.5, rank=1, source=0, tag=7, size=8, seq=0,
+            latency=0.5, arrival=1.5, waited=True,
+        ))
+        # Same seq again: a fresh engine run began.
+        recorder.emit(send)
+        assert len(recorder.runs) == 2
+        assert len(recorder.runs[0].edges) == 1
+        assert recorder.runs[1].open_edge_count == 1
+
+    def test_run_break_is_noop_while_empty(self):
+        recorder = SpanRecorder()
+        recorder.run_break()
+        recorder.run_break()
+        assert len(recorder.runs) == 1
+        recorder.emit(obs_events.ProcBlock(time=0.5, rank=0, reason="recv"))
+        recorder.run_break()
+        recorder.run_break()
+        assert len(recorder.runs) == 2
+        assert len(recorder) == 1
+
+    def test_finalize_closes_open_phases_at_run_end(self):
+        recorder = SpanRecorder()
+        recorder.emit(obs_events.PhaseBegin(
+            time=1.0, rank=0, name="sync.learn", algorithm="hca",
+        ))
+        recorder.emit(obs_events.ProcBlock(time=3.0, rank=0, reason="recv"))
+        recorder.finalize()
+        (run,) = recorder.completed_runs()
+        (span,) = run.phases[0]
+        assert span.begin == 1.0
+        assert span.end == 3.0  # closed at the run's last event time
+        recorder.finalize()  # idempotent
+        assert len(run.phases[0]) == 1
+
+    def test_fault_inject_does_not_extend_the_run(self):
+        recorder = SpanRecorder()
+        recorder.emit(obs_events.ProcBlock(time=2.0, rank=0, reason="recv"))
+        recorder.emit(obs_events.FaultInject(
+            time=99.0, rank=-1, kind="clock_step", name="f", target="node0",
+        ))
+        assert recorder.run.t_end == 2.0
+        assert len(recorder) == 1

@@ -10,6 +10,7 @@ from repro.perf.harness import load_bench
 from repro.perf.regress import DEFAULT_TOLERANCE, check_bench
 from repro.perf.scaling import (
     compare_to_trajectory,
+    depth_probe,
     main,
     probe_point,
     scaling_probe,
@@ -133,6 +134,57 @@ class TestQueueSelection:
         doc = json.loads(capsys.readouterr().out)
         assert doc["event_queue"] == "heap"
         assert doc["points"][0]["event_queue"] == "heap"
+
+
+class TestDepthProbe:
+    def test_tree_vs_flat_depth_shape(self):
+        """The probe separates O(log p) tree depth from Theta(p) flat."""
+        hca, _ = depth_probe(16, label="hca/4/skampi_offset/2")
+        jk, _ = depth_probe(16, label="jk/4/skampi_offset/2")
+        assert hca["level_depth"] == 4   # ceil(log2 16)
+        assert jk["level_depth"] == 15   # p - 1
+        assert hca["depth_ratio"] <= 1.0
+        assert jk["expected_depth"] == 15
+        assert 0.0 < hca["duration_s"] < jk["duration_s"]
+        assert 0.0 < hca["path_msg_fraction"] <= 1.0
+
+    def test_sweep_attaches_sync_depth_and_analyses(self):
+        analyses: list = []
+        section = scaling_probe(
+            p_values=(8,), workload="fig3", zones=False,
+            label="hca/4/skampi_offset/2", depth=True,
+            depth_analyses=analyses,
+        )
+        (point,) = section["points"]
+        assert section["label"] == "hca/4/skampi_offset/2"
+        assert point["sync_depth"]["level_depth"] == 3
+        assert len(analyses) == 1
+        assert analyses[0]["depth"]["level_depth"] == 3
+
+    def test_depth_summary_is_deterministic(self):
+        a, _ = depth_probe(8, label="hca/4/skampi_offset/2", seed=1)
+        b, _ = depth_probe(8, label="hca/4/skampi_offset/2", seed=1)
+        a.pop("wall_s"), b.pop("wall_s")
+        assert a == b
+
+    def test_cli_depth_flag_and_artifact(self, tmp_path, capsys):
+        cp_dir = str(tmp_path / "cp")
+        assert main([
+            "--workload", "fig3", "--p", "8", "--no-zones", "--depth",
+            "--label", "hca/4/skampi_offset/2",
+            "--critical-path", cp_dir, "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["points"][0]["sync_depth"]["level_depth"] == 3
+        artifact = json.loads(
+            (tmp_path / "cp" / "critical_path.json").read_text()
+        )
+        assert artifact["critical_path_version"] == 1
+        assert artifact["meta"]["label"] == "hca/4/skampi_offset/2"
+        assert len(artifact["runs"]) == 1
+
+    def test_cli_depth_requires_fig3(self, capsys):
+        assert main(["--workload", "ring", "--p", "8", "--depth"]) == 2
 
 
 class TestCompare:

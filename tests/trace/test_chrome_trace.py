@@ -49,13 +49,19 @@ def traced_run(seed=2):
 def assert_valid_schema(records):
     assert records, "empty trace"
     for r in records:
-        assert r["ph"] in {"B", "E", "X", "i", "C"}
+        assert r["ph"] in {"B", "E", "X", "i", "C", "s", "f"}
         assert isinstance(r["ts"], (int, float))
         assert "pid" in r and "tid" in r
         if r["ph"] in {"B", "X", "i", "C"}:
             assert r["name"]
         if r["ph"] == "X":
             assert r["dur"] >= 0.0
+        if r["ph"] in {"s", "f"}:
+            # Flow events bind by id; a finish must attach to the
+            # enclosing slice's end ("bp": "e") to anchor the arrow.
+            assert isinstance(r["id"], int)
+            if r["ph"] == "f":
+                assert r["bp"] == "e"
 
 
 class TestSchema:
@@ -103,6 +109,55 @@ class TestSchema:
                 per_tid_depth[r["tid"]] -= 1
                 assert per_tid_depth[r["tid"]] >= 0
         assert all(depth == 0 for depth in per_tid_depth.values())
+
+
+class TestFlowEvents:
+    def test_flows_absent_by_default(self):
+        _merged, sink, _hw, _glob = traced_run()
+        records = engine_events_to_chrome(sink.events)
+        assert not [r for r in records if r["ph"] in {"s", "f"}]
+
+    def test_flow_pairs_bind_send_to_deliver(self):
+        _merged, sink, _hw, _glob = traced_run()
+        records = engine_events_to_chrome(sink.events, include_flows=True)
+        assert_valid_schema(records)
+        starts = {r["id"]: r for r in records if r["ph"] == "s"}
+        finishes = {r["id"]: r for r in records if r["ph"] == "f"}
+        assert starts
+        # Every finish pairs with a start of the same id (= message seq),
+        # pointing from the sender's track to the receiver's, forward in
+        # time; sends still in flight at the end have no finish.
+        assert set(finishes) <= set(starts)
+        deliver_seqs = {
+            r["args"]["seq"] for r in records
+            if r["ph"] == "i" and r["name"] == "deliver"
+        }
+        assert set(finishes) == deliver_seqs
+        for seq, fin in finishes.items():
+            start = starts[seq]
+            assert fin["ts"] >= start["ts"]
+            assert fin["cat"] == start["cat"] == "p2p.flow"
+
+    def test_flow_sorting_keeps_arrows_after_instants(self, tmp_path):
+        _merged, sink, _hw, _glob = traced_run()
+        records = engine_events_to_chrome(sink.events, include_flows=True)
+        ordered = json.loads(chrome_trace_json(records))
+        assert_valid_schema(ordered)
+        # On each track, a flow start/finish never precedes the instant
+        # it annotates at the same timestamp.
+        by_track: dict[tuple, list] = {}
+        for r in ordered:
+            by_track.setdefault((r["pid"], r["tid"]), []).append(r)
+        for rows in by_track.values():
+            for prev, nxt in zip(rows, rows[1:]):
+                if nxt["ph"] in {"s", "f"} and nxt["ts"] == prev["ts"]:
+                    assert prev["ph"] not in {"B", "E"} or prev["ph"] == "B"
+        # export_chrome_trace passes the flag through.
+        path = tmp_path / "flows.json"
+        n = export_chrome_trace(
+            path, engine_events=sink.events, include_flows=True
+        )
+        assert n == len(records)
 
 
 class TestRemapSemantics:

@@ -74,6 +74,7 @@ from repro.experiments import (
     fig8_imbalance,
     fig9_roundtime,
     fig10_tracing,
+    scenario_degradation,
     service_slo,
     table1_machines,
 )
@@ -132,6 +133,9 @@ TARGETS = {
     "fig8": _simple(fig8_imbalance),
     "fig9": _simple(fig9_roundtime),
     "fig10": _simple(fig10_tracing),
+    # Adversarial degradation tables (scenario presets x algorithms);
+    # cells fan out over --jobs like the campaign targets.
+    "scenario_degradation": _simple(scenario_degradation, parallel=True),
 }
 
 

@@ -60,6 +60,11 @@ def apply_clock_faults(
 class FaultInjector:
     """Applies a :class:`FaultSchedule`'s engine-level faults at run time."""
 
+    #: Whether :meth:`perturb_payload` can change payloads.  The engine
+    #: only calls the payload hook when this is set, so schedules without
+    #: byzantine behaviour (this base class) skip it entirely.
+    perturbs_payloads: bool = False
+
     def __init__(
         self,
         schedule: FaultSchedule,
@@ -107,12 +112,23 @@ class FaultInjector:
         level: Level,
         delay: float,
         rng: np.random.Generator,
+        *,
+        src: int | None = None,
+        dst: int | None = None,
     ) -> float:
-        """Degrade one network delay draw per the link faults active now."""
+        """Degrade one network delay draw per the link faults active now.
+
+        ``src``/``dst`` identify the directed message the draw prices
+        (the engine supplies them; ack draws travel receiver→sender).
+        Directed link faults only match when the pair is known and
+        equal; undirected faults behave as before.
+        """
         for f in self._links:
             if not f.active(time):
                 continue
             if f.level is not None and f.level != level.name:
+                continue
+            if not f.matches_link(src, dst):
                 continue
             delay *= f.latency_factor
             if f.jitter > 0.0:
@@ -121,6 +137,24 @@ class FaultInjector:
                 delay += rng.exponential(f.outlier_scale)
             self.delays_perturbed += 1
         return delay
+
+    def perturb_payload(
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        tag: int,
+        payload,
+        rng: np.random.Generator,
+    ):
+        """Hook for byzantine payload tampering; identity in the base class.
+
+        The engine calls this just before constructing the message, and
+        only when :attr:`perturbs_payloads` is set — plain fault
+        schedules never reach it, keeping the unadversarial message path
+        (and its RNG stream) untouched.
+        """
+        return payload
 
     def nic_gap_factor(self, time: float, node: int) -> float:
         """Multiplier on the NIC serialization gap of ``node`` right now."""

@@ -133,6 +133,12 @@ class LinkFault(_FaultBase):
     ``outlier_prob`` an exponential outlier of mean ``outlier_scale``.
     ``level=None`` degrades every level ("the switch is struggling");
     ``level="REMOTE"`` degrades only inter-node traffic.
+
+    ``src``/``dst`` optionally pin the fault to one *directed* rank pair
+    (both or neither must be given): only messages sent from rank
+    ``src`` to rank ``dst`` are degraded — the shape of a targeted,
+    asymmetric delay attack, as opposed to the level-wide congestion the
+    ``level`` filter models.  Directed faults compose with ``level``.
     """
 
     kind: ClassVar[str] = "link"
@@ -142,6 +148,8 @@ class LinkFault(_FaultBase):
     jitter: float = 0.0
     outlier_prob: float = 0.0
     outlier_scale: float = 0.0
+    src: int | None = None
+    dst: int | None = None
     name: str = "link"
 
     def __post_init__(self) -> None:
@@ -159,12 +167,35 @@ class LinkFault(_FaultBase):
             or self.outlier_prob > 0.0,
             "link fault must perturb something",
         )
+        _require(
+            (self.src is None) == (self.dst is None),
+            "a directed link fault needs both src and dst (or neither)",
+        )
+        if self.src is not None:
+            _require(self.src >= 0, "link fault src must be >= 0")
+            _require(self.dst >= 0, "link fault dst must be >= 0")
+            _require(
+                self.src != self.dst,
+                "a directed link fault cannot target a self-link",
+            )
 
     @property
     def duration(self) -> float:
         return self.length
 
+    def matches_link(self, src: int | None, dst: int | None) -> bool:
+        """Whether the fault applies to the directed message ``src→dst``.
+
+        Undirected faults match everything; directed faults only match
+        when the engine supplied the concrete rank pair and it is ours.
+        """
+        if self.src is None:
+            return True
+        return src == self.src and dst == self.dst
+
     def target(self) -> str:
+        if self.src is not None:
+            return f"link:{self.src}->{self.dst}"
         return "links" if self.level is None else f"level:{self.level}"
 
 

@@ -98,10 +98,11 @@ class FaultSchedule:
         """Reject faults that cannot act on the described job.
 
         Checks every fault's target against the job shape (``rank`` must
-        be < ``num_ranks``, ``node`` < ``num_nodes``) and its start time
-        against the run ``horizon`` — a fault scheduled past the end of
-        the run silently never fires, which almost always means a
-        mis-scaled scenario.  Raises
+        be < ``num_ranks``, ``node`` < ``num_nodes``, and a link-keyed
+        fault's ``src``/``dst`` endpoint ranks must both exist) and its
+        start time against the run ``horizon`` — a fault scheduled past
+        the end of the run silently never fires, which almost always
+        means a mis-scaled scenario.  Raises
         :class:`~repro.errors.ConfigurationError` naming the first
         offending fault; returns ``self`` so calls chain.  ``None``
         bounds skip that check.
@@ -117,6 +118,19 @@ class FaultSchedule:
                     f"fault {f.name!r} ({f.kind}) targets rank {rank}, "
                     f"but the job has ranks 0..{num_ranks - 1}"
                 )
+            if num_ranks is not None:
+                # Directed link faults key on a (src, dst) rank pair;
+                # both endpoints must exist or the fault never matches.
+                for end in ("src", "dst"):
+                    endpoint = getattr(f, end, None)
+                    if endpoint is not None and not (
+                        0 <= endpoint < num_ranks
+                    ):
+                        raise ConfigurationError(
+                            f"fault {f.name!r} ({f.kind}) keys its link "
+                            f"{end} to rank {endpoint}, but the job has "
+                            f"ranks 0..{num_ranks - 1}"
+                        )
             node = getattr(f, "node", None)
             if (
                 num_nodes is not None

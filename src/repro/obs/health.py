@@ -30,6 +30,16 @@ fifth scans the service layer's stale-read-rate series:
   round's critical path is deeper than the algorithm's structure
   predicts — an early signal for delay attacks, congestion, or a
   broken tree (the ROADMAP item-2 adversary scenarios).
+* **byzantine suspect** — one rank's mean |error| is a large multiple
+  of its scope's population median: the classic signature of a rank
+  whose clock (or whose timestamp reports, see
+  :mod:`repro.scenarios`) disagrees with an otherwise-converged
+  cohort.  Needs a minimum cohort size — outliers are only meaningful
+  against a population.
+* **congestion desync** — the network layer's ``net.queue_delay``
+  series (queueing sojourn sampled by congestion adversaries) shows a
+  sustained standing queue; escalates to critical when the same scope
+  also desynchronized, tying the clock damage to the congestion.
 
 Everything is pure ``math`` over retained points (no numpy), so verdicts
 are bit-deterministic and goldenable; ``to_dict`` rounds floats to 12
@@ -52,6 +62,9 @@ STALE_METRIC = "service.stale_rate"
 #: Metric (unscoped) name of the critical-path depth-ratio series
 #: (measured level depth / expected bound, deposited by --critical-path).
 DEPTH_METRIC = "sync.critical.depth_ratio"
+#: Metric (unscoped) name of the queueing-sojourn series (sampled by
+#: congestion adversaries, see repro.scenarios.apply).
+QUEUE_METRIC = "net.queue_delay"
 #: Marker metric names the detectors correlate against.
 RESYNC_MARKER = "resync"
 FAULT_MARKER = "fault"
@@ -90,6 +103,19 @@ class HealthThresholds:
     depth_ratio: float = 1.0
     #: Ratio at which a depth anomaly escalates to critical.
     depth_ratio_critical: float = 2.0
+    #: A rank whose mean |error| exceeds this multiple of its scope's
+    #: population median (and desync_tolerance) is a byzantine suspect.
+    byzantine_factor: float = 8.0
+    #: Multiple at which a byzantine suspect escalates to critical.
+    byzantine_factor_critical: float = 32.0
+    #: Minimum error series in a scope before outlier detection runs.
+    byzantine_min_series: int = 3
+    #: Queueing sojourn (s) above this counts as a standing queue.
+    queue_delay_tolerance: float = 50e-6
+    #: Seconds the sojourn must stay above tolerance before a
+    #: congestion finding fires (sync rounds are sub-second, so the
+    #: window is much shorter than the wall-clock-scale thresholds).
+    queue_window: float = 10e-3
 
 
 @dataclass(frozen=True)
@@ -483,6 +509,135 @@ def detect_depth_anomalies(
     return findings
 
 
+def _median(values: list[float]) -> float:
+    """Deterministic median (mean of middles for even counts)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def detect_byzantine_suspects(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """One rank's mean |error| towers over its scope's cohort median.
+
+    An honest-but-drifting rank degrades gradually and drags the whole
+    cohort's statistics with it; a byzantine rank (lying timestamps, a
+    stepped clock) sits alone far from an otherwise-converged median.
+    The ratio is floored at ``desync_tolerance`` in absolute terms so a
+    near-perfect cohort (median ~ 0) does not flag nanosecond noise.
+    """
+    th = th or HealthThresholds()
+    findings = []
+    by_scope: dict[str, list] = {}
+    for series in _error_series(bank):
+        by_scope.setdefault(split_scope(series.name)[0], []).append(series)
+    for scope in sorted(by_scope):
+        cohort = by_scope[scope]
+        if len(cohort) < th.byzantine_min_series:
+            continue
+        means = [
+            sum(abs(v) for _, v in s.points) / len(s.points)
+            for s in cohort
+        ]
+        median = _median(means)
+        baseline = max(median, th.desync_tolerance / th.byzantine_factor)
+        for series, mean_abs in zip(cohort, means):
+            ratio = mean_abs / baseline if baseline > 0.0 else 0.0
+            if (
+                ratio <= th.byzantine_factor
+                or mean_abs <= th.desync_tolerance
+            ):
+                continue
+            severity = (
+                "critical" if ratio > th.byzantine_factor_critical
+                else "warning"
+            )
+            findings.append(HealthFinding(
+                detector="byzantine_suspect",
+                severity=severity,
+                series=series.name,
+                rank=series.rank,
+                start=series.points[0][0],
+                end=series.points[-1][0],
+                value=ratio,
+                threshold=th.byzantine_factor,
+                message=(
+                    f"mean |error| {mean_abs:.3g}s is {ratio:.3g}x the "
+                    f"cohort median {median:.3g}s "
+                    f"({len(cohort)} series in scope)"
+                ),
+            ))
+    return findings
+
+
+def _queue_series(bank: TimeSeriesBank):
+    """All ``net.queue_delay`` series, in deterministic bank order."""
+    return [
+        series
+        for (name, _), series in bank.items()
+        if split_scope(name)[1] == QUEUE_METRIC and len(series) >= 2
+    ]
+
+
+def detect_congestion_desync(
+    bank: TimeSeriesBank, th: HealthThresholds | None = None
+) -> list[HealthFinding]:
+    """Sustained standing queues, escalated when the scope desynced.
+
+    A CoDel-healthy bottleneck sheds its backlog within an interval;
+    sojourns above tolerance for a sustained window mean a standing
+    queue.  On its own that is a warning (the network is sick, the
+    clocks may still cope); when any ``clock.error`` series in the same
+    scope is simultaneously out of tolerance, the finding is critical —
+    the congestion is plausibly *causing* the desync.
+    """
+    th = th or HealthThresholds()
+    desynced_scopes = {
+        split_scope(series.name)[0]
+        for series in _error_series(bank)
+        if any(abs(v) > th.desync_tolerance for _, v in series.points)
+    }
+    findings = []
+    for series in _queue_series(bank):
+        scope = split_scope(series.name)[0]
+        run: list[tuple[float, float]] = []
+        for point in series.points + [(float("inf"), 0.0)]:
+            if point[1] > th.queue_delay_tolerance:
+                run.append(point)
+                continue
+            if run:
+                span = run[-1][0] - run[0][0]
+                if span >= th.queue_window:
+                    peak = max(v for _, v in run)
+                    desynced = scope in desynced_scopes
+                    findings.append(HealthFinding(
+                        detector="congestion_desync",
+                        severity="critical" if desynced else "warning",
+                        series=series.name,
+                        rank=series.rank,
+                        start=run[0][0],
+                        end=run[-1][0],
+                        value=peak,
+                        threshold=th.queue_delay_tolerance,
+                        message=(
+                            f"queueing sojourn peaked at {peak:.3g}s, "
+                            f"above {th.queue_delay_tolerance:.3g}s for "
+                            f"{span:.3g}s"
+                            + (
+                                " while the scope was desynchronized"
+                                if desynced
+                                else ""
+                            )
+                        ),
+                    ))
+                run = []
+    return findings
+
+
 #: The full detector sweep, in report order.
 DETECTORS = (
     ("drift_excursion", detect_drift_excursions),
@@ -491,6 +646,8 @@ DETECTORS = (
     ("stuck_clock", detect_stuck_clocks),
     ("stale_read", detect_stale_reads),
     ("depth_anomaly", detect_depth_anomalies),
+    ("byzantine_suspect", detect_byzantine_suspects),
+    ("congestion_desync", detect_congestion_desync),
 )
 
 

@@ -1,0 +1,313 @@
+"""Scenario container: adversaries + faults + an error budget, named.
+
+A :class:`Scenario` is the unit the degradation harness and the fuzzer
+consume: an ordered set of typed adversaries
+(:mod:`repro.scenarios.adversaries`), optionally composed with a plain
+:class:`~repro.faults.schedule.FaultSchedule` (the two layers share the
+engine injector, so "a byzantine rank *during* a congestion burst" is
+one scenario), plus the error budget the cell is judged against.
+
+Scenarios round-trip through dicts/JSON (``to_dict``/``from_dict``,
+``save``/``load``) so fuzzer repros are replayable files, and
+``validate`` range-checks every adversary and fault against a concrete
+job shape before the run starts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultSchedule
+from repro.scenarios.adversaries import (
+    Adversary,
+    ByzantineClockAdversary,
+    ChurnAdversary,
+    CongestionAdversary,
+    DelayAttackAdversary,
+    RegionTopologyAdversary,
+    adversary_from_dict,
+)
+
+#: Default tolerated post-sync max |offset| (s) before a cell counts as
+#: blown.  Deliberately generous: the fuzzer hunts for *catastrophic*
+#: degradation and broken invariants, not ordinary accuracy loss.
+DEFAULT_ERROR_BUDGET = 50e-3
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named adversarial scenario, sorted deterministically."""
+
+    name: str
+    adversaries: tuple[Adversary, ...] = ()
+    faults: FaultSchedule | None = None
+    error_budget: float = DEFAULT_ERROR_BUDGET
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        adversaries: Sequence[Adversary] = (),
+        faults: FaultSchedule | None = None,
+        error_budget: float = DEFAULT_ERROR_BUDGET,
+        description: str = "",
+    ) -> None:
+        if not name:
+            raise ConfigurationError("a scenario needs a name")
+        if not error_budget > 0.0:
+            raise ConfigurationError("error budget must be > 0")
+        ordered = tuple(
+            sorted(adversaries, key=lambda a: (a.start, a.kind, a.name))
+        )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "adversaries", ordered)
+        object.__setattr__(self, "faults", faults)
+        object.__setattr__(self, "error_budget", float(error_budget))
+        object.__setattr__(self, "description", description)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.adversaries) + (
+            len(self.faults) if self.faults is not None else 0
+        )
+
+    def __iter__(self) -> Iterator[Adversary]:
+        return iter(self.adversaries)
+
+    def of_kind(self, kind: str) -> list[Adversary]:
+        return [a for a in self.adversaries if a.kind == kind]
+
+    @property
+    def byzantine(self) -> list[ByzantineClockAdversary]:
+        return self.of_kind("byzantine_clock")
+
+    @property
+    def delay_attacks(self) -> list[DelayAttackAdversary]:
+        return self.of_kind("delay_attack")
+
+    @property
+    def congestion(self) -> list[CongestionAdversary]:
+        return self.of_kind("congestion")
+
+    @property
+    def regions(self) -> list[RegionTopologyAdversary]:
+        return self.of_kind("region_topology")
+
+    @property
+    def churn(self) -> list[ChurnAdversary]:
+        return self.of_kind("churn")
+
+    # ------------------------------------------------------------------
+    # Validation against a concrete job
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        num_ranks: int | None = None,
+        num_nodes: int | None = None,
+        horizon: float | None = None,
+    ) -> "Scenario":
+        """Range-check every adversary and fault against the job shape.
+
+        Raises :class:`~repro.errors.ConfigurationError` naming the
+        first offender; returns ``self`` so calls chain.
+        """
+        for adv in self.adversaries:
+            adv.validate(
+                num_ranks=num_ranks, num_nodes=num_nodes, horizon=horizon
+            )
+        if self.faults is not None:
+            self.faults.validate(
+                num_ranks=num_ranks, num_nodes=num_nodes, horizon=horizon
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "error_budget": self.error_budget,
+            "adversaries": [a.to_dict() for a in self.adversaries],
+            "faults": (
+                self.faults.to_dict() if self.faults is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        try:
+            adversaries = [
+                adversary_from_dict(d) for d in data.get("adversaries", [])
+            ]
+            faults = data.get("faults")
+            return cls(
+                name=data["name"],
+                adversaries=adversaries,
+                faults=(
+                    FaultSchedule.from_dict(faults)
+                    if faults is not None
+                    else None
+                ),
+                error_budget=data.get(
+                    "error_budget", DEFAULT_ERROR_BUDGET
+                ),
+                description=data.get("description", ""),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"scenario dict is missing {exc}"
+            ) from None
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "Scenario":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Preset scenarios (the degradation-table rows)
+# ----------------------------------------------------------------------
+def delay_attack(
+    links: Sequence[tuple[int, int]] = ((1, 0),),
+    extra_delay: float = 100e-6,
+    jitter: float = 10e-6,
+) -> Scenario:
+    """Asymmetric delay attack on the reference links during sync."""
+    return Scenario(
+        name="delay_attack",
+        description=(
+            f"asymmetric extra delay of {extra_delay:g}s on "
+            f"{len(tuple(links))} directed link(s) — defeats two-way "
+            f"time transfer"
+        ),
+        adversaries=[
+            DelayAttackAdversary(
+                links=tuple(links),
+                extra_delay=extra_delay,
+                jitter=jitter,
+            ),
+        ],
+    )
+
+
+def byzantine_rank(
+    ranks: Sequence[int] = (1,),
+    bias: float = 200e-6,
+    noise: float = 20e-6,
+) -> Scenario:
+    """Ranks that lie about their timestamps during offset measurement."""
+    return Scenario(
+        name="byzantine_rank",
+        description=(
+            f"rank(s) {tuple(ranks)} shift every sync timestamp by "
+            f"{bias:g}s (+{noise:g}s noise)"
+        ),
+        adversaries=[
+            ByzantineClockAdversary(
+                ranks=tuple(ranks), bias=bias, noise=noise
+            ),
+        ],
+    )
+
+
+def congested_fabric(
+    service_time: float = 15e-6,
+    codel_target: float = 60e-6,
+    codel_interval: float = 0.05,
+) -> Scenario:
+    """A CoDel-controlled bottleneck on all inter-node traffic."""
+    return Scenario(
+        name="congested_fabric",
+        description=(
+            f"REMOTE bottleneck queue, {service_time:g}s service time, "
+            f"CoDel target {codel_target:g}s / interval "
+            f"{codel_interval:g}s"
+        ),
+        adversaries=[
+            CongestionAdversary(
+                level="REMOTE",
+                service_time=service_time,
+                codel_target=codel_target,
+                codel_interval=codel_interval,
+            ),
+        ],
+    )
+
+
+def region_tiers(
+    cross_latency: float = 5e-3,
+    far_latency: float = 20e-3,
+) -> Scenario:
+    """NA/EU/AS latency tiers: nearby regions close, AS far from both."""
+    return Scenario(
+        name="region_tiers",
+        description=(
+            f"NA/EU/AS regions, {cross_latency:g}s cross-region latency "
+            f"({far_latency:g}s to AS)"
+        ),
+        adversaries=[
+            RegionTopologyAdversary(
+                regions=("NA", "EU", "AS"),
+                assignment="blocked",
+                cross_latency=cross_latency,
+                pair_latency=(
+                    ("AS|EU", far_latency),
+                    ("AS|NA", far_latency),
+                ),
+            ),
+        ],
+    )
+
+
+def rank_churn(
+    mode: str = "flap", drop: int = 2, min_nodes: int = 2
+) -> Scenario:
+    """Nodes leave and rejoin between campaign rounds."""
+    return Scenario(
+        name="rank_churn",
+        description=(
+            f"churn mode {mode!r}: {drop} node(s) per event, floor "
+            f"{min_nodes}"
+        ),
+        adversaries=[
+            ChurnAdversary(mode=mode, drop=drop, min_nodes=min_nodes),
+        ],
+    )
+
+
+PRESETS: dict[str, Callable[..., Scenario]] = {
+    "delay_attack": delay_attack,
+    "byzantine_rank": byzantine_rank,
+    "congested_fabric": congested_fabric,
+    "region_tiers": region_tiers,
+    "rank_churn": rank_churn,
+}
+
+
+def make_preset(name: str, **overrides) -> Scenario:
+    """Build a preset scenario, optionally overriding factory parameters."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None
+    return factory(**overrides)

@@ -755,9 +755,11 @@ class Engine:
                 proc, level, pool
             )
         if injector is not None:
-            # Link faults: windowed degradation of the delay draw.
+            # Link faults: windowed degradation of the delay draw (a
+            # directed fault keys on this message's (src, dst) pair).
             delay = injector.perturb_delay(
-                send_time, level, delay, proc.get_rng()
+                send_time, level, delay, proc.get_rng(),
+                src=proc.rank, dst=cmd.dest,
             )
         nodes = self._node_cache
         if (
@@ -814,11 +816,21 @@ class Engine:
             # Delay draw + fault perturbation + NIC serialization model:
             # the per-message network pricing (vectorized in burst mode).
             prof.add("net.delay", prof.clock() - t0)
+        payload = cmd.payload
+        if injector is not None and injector.perturbs_payloads:
+            # Byzantine adversaries: the sender's wire payload may lie
+            # (timestamp tampering at the sync-message boundary).  Only
+            # adversarial injectors set the flag, so plain fault
+            # schedules never pay for (or draw RNG in) this hook.
+            payload = injector.perturb_payload(
+                send_time, proc.rank, cmd.dest, cmd.tag, payload,
+                proc.get_rng(),
+            )
         msg = Message(
             source=proc.rank,
             dest=cmd.dest,
             tag=cmd.tag,
-            payload=cmd.payload,
+            payload=payload,
             size=cmd.size,
             send_time=send_time,
             arrival=arrival,
@@ -1029,8 +1041,10 @@ class Engine:
             t0 = prof.clock() if prof is not None else 0
             ack_delay = self.network.delay_from_pool(level, 8, pool)
             if self.injector is not None:
+                # The ack travels receiver → original sender.
                 ack_delay = self.injector.perturb_delay(
-                    proc.now, level, ack_delay, proc.get_rng()
+                    proc.now, level, ack_delay, proc.get_rng(),
+                    src=msg.dest, dst=msg.source,
                 )
             if prof is not None:
                 prof.add("net.delay", prof.clock() - t0)

@@ -103,6 +103,7 @@ class Simulation:
         metrics: MetricsRegistry | None = None,
         timeseries: TimeSeriesBank | None = None,
         faults: FaultSchedule | None = None,
+        injector: FaultInjector | None = None,
         rng_pool_chunk: int | None = None,
         check: str | None = None,
         profiler: Profiler | None = None,
@@ -132,6 +133,13 @@ class Simulation:
         :mod:`repro.faults`): clock faults wrap the affected node clocks
         at construction; network/compute faults are applied by the
         engine at their exact virtual times.  Deterministic per seed.
+
+        ``injector`` overrides the engine-side injector built from
+        ``faults`` — the adversarial scenario layer
+        (:mod:`repro.scenarios`) passes a subclass here that adds delay
+        attacks, byzantine payload tampering, and congestion queueing on
+        top of the plain fault hooks.  When given, it is used as-is
+        (``faults`` still wraps clocks and is validated).
 
         ``seed`` may be a plain integer or a ``numpy.random.SeedSequence``
         (e.g. a child spawned by the parallel campaign executor); engine
@@ -209,11 +217,12 @@ class Simulation:
                 num_nodes=machine.num_nodes,
                 horizon=self.max_true_time,
             )
-        injector = (
-            FaultInjector(faults, node_of=machine.node_of)
-            if faults is not None and len(faults)
-            else None
-        )
+        if injector is None:
+            injector = (
+                FaultInjector(faults, node_of=machine.node_of)
+                if faults is not None and len(faults)
+                else None
+            )
         self.checker: SanitizerSink | None = None
         mode = check if check is not None else active_check_mode()
         if mode:

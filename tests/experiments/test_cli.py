@@ -12,7 +12,7 @@ class TestParser:
     def test_all_targets_registered(self):
         expected = {"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
                     "fig7", "fig8", "fig9", "fig10", "fault_recovery",
-                    "service_slo"}
+                    "service_slo", "scenario_degradation"}
         assert set(TARGETS) == expected
 
     def test_defaults(self):

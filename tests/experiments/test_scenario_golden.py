@@ -1,0 +1,89 @@
+"""Golden degradation tables: fixed seed → byte-identical cells.
+
+Pins the full ``scenario_degradation`` quick summary (all preset ×
+algorithm cells, baseline and adversarial twins at full precision) the
+same way ``test_golden.py`` pins fig3/fig4.  A diff means the adversary
+hooks, the seed-stream layout, or the simulation semantics changed — if
+intentional, regenerate with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments import scenario_degradation as sd
+    path = "tests/experiments/golden/scenario_degradation_quick_seed0.json"
+    open(path, "w").write(sd.summary_json(sd.run(scale="quick", seed=0)))
+    EOF
+
+and call the semantics change out in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import scenario_degradation as sd
+
+GOLDEN = (
+    Path(__file__).parent / "golden"
+    / "scenario_degradation_quick_seed0.json"
+)
+
+
+def golden_text() -> str:
+    return GOLDEN.read_text()
+
+
+class TestGoldenDegradation:
+    def test_byte_identical_summary(self):
+        result = sd.run(scale="quick", seed=0)
+        assert sd.summary_json(result) == golden_text()
+
+    def test_parallel_jobs_match_golden(self):
+        """--jobs 2 must be bit-identical to --jobs 1 (and the golden)."""
+        result = sd.run(scale="quick", seed=0, jobs=2)
+        assert sd.summary_json(result) == golden_text()
+
+    def test_different_seed_differs(self):
+        """The golden has teeth: another seed changes the bytes."""
+        other = sd.run(scale="quick", seed=1)
+        assert sd.summary_json(other) != golden_text()
+
+
+class TestGoldenCells:
+    """The two headline cells ISSUE-level docs point at, byte-pinned."""
+
+    def _cells(self):
+        return {
+            (c["scenario"], c["label"]): c
+            for c in json.loads(golden_text())["cells"]
+        }
+
+    def test_delay_attack_on_hca_degrades(self):
+        cell = self._cells()[("delay_attack", "hca/6/skampi_offset/4")]
+        assert cell["degradation"] > 1.0
+        assert cell["adversarial_max_offset"] > cell["baseline_max_offset"]
+        assert cell["violations"] == []
+
+    def test_churn_on_jk_reshapes_rounds(self):
+        cell = self._cells()[("rank_churn", "jk/6/skampi_offset/4")]
+        base_nodes = [r["num_nodes"] for r in cell["baseline"]]
+        adv_nodes = [r["num_nodes"] for r in cell["adversarial"]]
+        assert base_nodes == [4, 4]
+        assert adv_nodes == [4, 2]  # flap: full, then two nodes drop
+
+    def test_grid_is_complete(self):
+        cells = self._cells()
+        data = json.loads(golden_text())
+        assert len(cells) == len(data["cells"])  # no duplicate keys
+        presets = {scenario for scenario, _ in cells}
+        labels = {label for _, label in cells}
+        assert presets == {
+            "byzantine_rank", "congested_fabric", "delay_attack",
+            "rank_churn", "region_tiers",
+        }
+        assert labels == set(data["labels"])
+        assert len(cells) == len(presets) * len(labels)
+
+    def test_summary_is_canonical_json(self):
+        text = golden_text()
+        data = json.loads(text)
+        assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"

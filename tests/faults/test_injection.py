@@ -88,6 +88,43 @@ class TestFaultInjectorUnit:
         assert injector.perturb_compute(11.0, 1, 1.0, rng) == 1.0
         assert injector.computes_perturbed == 1
 
+    def test_directed_link_fault_matches_one_direction(self):
+        injector = FaultInjector(FaultSchedule(name="s", faults=[
+            LinkFault(start=0.0, length=5.0, latency_factor=3.0,
+                      src=1, dst=0),
+        ]))
+        rng = np.random.default_rng(0)
+        hit = injector.perturb_delay(
+            1.0, Level.REMOTE, 2e-6, rng, src=1, dst=0
+        )
+        assert hit == pytest.approx(6e-6)
+        # The reverse direction and unrelated links are untouched.
+        assert injector.perturb_delay(
+            1.0, Level.REMOTE, 2e-6, rng, src=0, dst=1
+        ) == 2e-6
+        assert injector.perturb_delay(
+            1.0, Level.REMOTE, 2e-6, rng, src=2, dst=3
+        ) == 2e-6
+        assert injector.delays_perturbed == 1
+
+    def test_directed_link_fault_ignores_unkeyed_calls(self):
+        """Callers that pass no endpoints never match a directed fault."""
+        injector = FaultInjector(FaultSchedule(name="s", faults=[
+            LinkFault(start=0.0, length=5.0, latency_factor=3.0,
+                      src=1, dst=0),
+        ]))
+        rng = np.random.default_rng(0)
+        assert injector.perturb_delay(1.0, Level.REMOTE, 2e-6, rng) == 2e-6
+
+    def test_broadcast_link_fault_matches_any_link(self):
+        injector = FaultInjector(FaultSchedule(name="s", faults=[
+            LinkFault(start=0.0, length=5.0, latency_factor=3.0),
+        ]))
+        rng = np.random.default_rng(0)
+        assert injector.perturb_delay(
+            1.0, Level.REMOTE, 2e-6, rng, src=2, dst=3
+        ) == pytest.approx(6e-6)
+
     def test_schedule_events_carry_exact_times(self):
         sched = make_scenario("congestion_burst", start=20.0, length=10.0)
         events = FaultInjector(sched).schedule_events()
@@ -144,6 +181,33 @@ class TestEngineIntegration:
         degraded = sim.run(body)
         assert max(degraded.values) > max(clean.values)
         assert sim.engine.injector.delays_perturbed > 0
+
+    def test_directed_link_fault_only_hits_its_direction(self):
+        def body(ctx, comm):
+            for _ in range(10):
+                yield from comm.bcast(
+                    ctx.rank if comm.rank == 0 else None, root=0
+                )
+            return ctx.now
+
+        clean = make_sim(None).run(body)
+        # A bcast from rank 0 sends 0->r with acks r->0: the 0->2 link
+        # carries real traffic, the 3->2 link never occurs.
+        hot = FaultSchedule(name="s", faults=[
+            LinkFault(start=0.0, length=100.0, latency_factor=50.0,
+                      src=0, dst=2),
+        ])
+        degraded = make_sim(hot).run(body)
+        assert max(degraded.values) > max(clean.values)
+        # An unused direction leaves the run byte-identical to clean
+        # (non-matching faults draw no RNG, and the injector-bearing
+        # full path is pinned bit-identical to the quiet path).
+        cold = FaultSchedule(name="s", faults=[
+            LinkFault(start=0.0, length=100.0, latency_factor=50.0,
+                      src=3, dst=2),
+        ])
+        inert = make_sim(cold).run(body)
+        assert inert.values == clean.values
 
     def test_nic_storm_slows_internode_traffic(self):
         def body(ctx, comm):

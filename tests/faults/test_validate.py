@@ -67,6 +67,34 @@ class TestValidate:
         )
         assert s.validate(num_ranks=1, num_nodes=1, horizon=10.0) is s
 
+    def test_link_src_out_of_range_rejected(self):
+        s = schedule(
+            LinkFault(start=1.0, length=1.0, latency_factor=2.0,
+                      src=9, dst=0, name="directed")
+        )
+        with pytest.raises(ConfigurationError, match="src to rank 9"):
+            s.validate(num_ranks=4)
+
+    def test_link_dst_out_of_range_rejected(self):
+        s = schedule(
+            LinkFault(start=1.0, length=1.0, latency_factor=2.0,
+                      src=0, dst=4, name="directed")
+        )
+        with pytest.raises(ConfigurationError, match="dst to rank 4"):
+            s.validate(num_ranks=4)
+
+    def test_link_endpoints_in_range_accepted(self):
+        s = schedule(
+            LinkFault(start=1.0, length=1.0, latency_factor=2.0,
+                      src=3, dst=0)
+        )
+        assert s.validate(num_ranks=4, horizon=10.0) is s
+
+    def test_broadcast_link_ignores_rank_count(self):
+        """An undirected link fault is valid on any shape."""
+        s = schedule(LinkFault(start=1.0, length=1.0, latency_factor=2.0))
+        assert s.validate(num_ranks=1) is s
+
     def test_first_offender_named(self):
         s = schedule(
             ClockStepFault(start=1.0, step=1e-3, node=0, name="fine"),

@@ -19,7 +19,10 @@ from repro.faults.evaluate import run_recovery
 from repro.faults.scenarios import make_scenario
 from repro.obs.health import (
     DEPTH_METRIC,
+    QUEUE_METRIC,
     HealthThresholds,
+    detect_byzantine_suspects,
+    detect_congestion_desync,
     detect_depth_anomalies,
     detect_desync_breaches,
     detect_drift_excursions,
@@ -107,6 +110,47 @@ def _bank_depth() -> TimeSeriesBank:
     return bank
 
 
+def _bank_byzantine() -> TimeSeriesBank:
+    # A six-rank cohort: four converged at the ~2-3 us level, rank 6
+    # parked at 150 us (12x the floored baseline → warning) and rank 3
+    # at 800 us (64x → critical).  The "tiny" scope has only two series
+    # — below the minimum cohort — so its huge outlier must NOT fire.
+    bank = TimeSeriesBank()
+    for i in range(6):
+        t = float(i)
+        for rank, err in ((1, 2e-6), (2, -3e-6), (4, 2.5e-6), (5, -2e-6)):
+            bank.sample("clock.error", t, err, rank=rank)
+        bank.sample("clock.error", t, 8e-4, rank=3)
+        bank.sample("clock.error", t, 150e-6, rank=6)
+        with bank.scoped("tiny"):
+            bank.sample("clock.error", t, 1e-6, rank=1)
+            bank.sample("clock.error", t, 5e-3, rank=2)
+    return bank
+
+
+def _bank_congestion() -> TimeSeriesBank:
+    # Three scopes of queueing sojourns: "hot" sustains a standing
+    # queue while its clock errors breach tolerance (critical), "warm"
+    # sustains one with healthy clocks (warning), and "cool" has a
+    # two-sample blip shorter than the window (no finding).
+    bank = TimeSeriesBank()
+    with bank.scoped("hot"):
+        for i in range(16):
+            t = 0.002 * i
+            bank.sample(QUEUE_METRIC, t, 80e-6, rank=0)
+            bank.sample("clock.error", t, 250e-6, rank=1)
+    with bank.scoped("warm"):
+        for i in range(16):
+            t = 0.002 * i
+            bank.sample(QUEUE_METRIC, t, 60e-6, rank=0)
+            bank.sample("clock.error", t, 1e-6, rank=1)
+    with bank.scoped("cool"):
+        for t in (0.0, 0.004):
+            bank.sample(QUEUE_METRIC, t, 90e-6, rank=0)
+            bank.sample("clock.error", t, 1e-6, rank=1)
+    return bank
+
+
 def _findings(case: str) -> list[dict]:
     if case == "desync_breach":
         found = detect_desync_breaches(_bank_ntp_step(None))
@@ -120,6 +164,10 @@ def _findings(case: str) -> list[dict]:
         found = detect_stale_reads(_bank_stale())
     elif case == "depth_anomaly":
         found = detect_depth_anomalies(_bank_depth())
+    elif case == "byzantine_suspect":
+        found = detect_byzantine_suspects(_bank_byzantine())
+    elif case == "congestion_desync":
+        found = detect_congestion_desync(_bank_congestion())
     else:  # pragma: no cover - test bookkeeping
         raise ValueError(case)
     return [f.to_dict() for f in found]
@@ -127,7 +175,8 @@ def _findings(case: str) -> list[dict]:
 
 CASES = (
     "desync_breach", "resync_latency", "drift_excursion", "stuck_clock",
-    "stale_read", "depth_anomaly",
+    "stale_read", "depth_anomaly", "byzantine_suspect",
+    "congestion_desync",
 )
 
 
@@ -164,6 +213,12 @@ class TestGoldenFindings:
 
     def test_depth_anomaly_golden(self):
         _assert_matches_golden("depth_anomaly")
+
+    def test_byzantine_suspect_golden(self):
+        _assert_matches_golden("byzantine_suspect")
+
+    def test_congestion_desync_golden(self):
+        _assert_matches_golden("congestion_desync")
 
 
 class TestDetectorSemantics:
@@ -216,6 +271,38 @@ class TestDetectorSemantics:
         # run is the normal case) and thresholds stay tunable.
         lax = HealthThresholds(depth_ratio=3.0)
         assert not detect_depth_anomalies(_bank_depth(), lax)
+
+    def test_byzantine_outlier_ranks_and_cohort_minimum(self):
+        found = detect_byzantine_suspects(_bank_byzantine())
+        # The two-series "tiny" scope is below the cohort minimum, so
+        # only the main scope's outliers fire: rank 6 warns, rank 3 is
+        # critical.
+        assert [(f.rank, f.severity) for f in found] == [
+            (3, "critical"), (6, "warning"),
+        ]
+        lax = HealthThresholds(byzantine_min_series=7)
+        assert not detect_byzantine_suspects(_bank_byzantine(), lax)
+
+    def test_byzantine_ignores_converged_cohorts(self):
+        bank = TimeSeriesBank()
+        for i in range(6):
+            for rank in range(1, 6):
+                bank.sample(
+                    "clock.error", float(i), 1e-6 * rank, rank=rank
+                )
+        assert not detect_byzantine_suspects(bank), (
+            "a converged cohort below desync tolerance has no suspects"
+        )
+
+    def test_congestion_escalates_when_scope_desyncs(self):
+        found = detect_congestion_desync(_bank_congestion())
+        by_scope = {f.series.split("::")[0]: f for f in found}
+        # The "cool" blip spans less than the window: filtered.
+        assert set(by_scope) == {"hot", "warm"}
+        assert by_scope["hot"].severity == "critical"
+        assert by_scope["warm"].severity == "warning"
+        lax = HealthThresholds(queue_delay_tolerance=1e-3)
+        assert not detect_congestion_desync(_bank_congestion(), lax)
 
     def test_verdict_always_reports_all_detectors(self):
         verdict = evaluate_health(TimeSeriesBank())

@@ -64,7 +64,7 @@ class TestReportIdentity:
         assert set(report["health"]["detectors"]) == {
             "drift_excursion", "desync_breach",
             "resync_latency", "stuck_clock", "stale_read",
-            "depth_anomaly",
+            "depth_anomaly", "byzantine_suspect", "congestion_desync",
         }
         assert "parallel.workers" not in report["metrics"]["gauges"]
 

@@ -1,0 +1,123 @@
+"""Fuzzer loop: archive format, replay determinism, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.scenarios import fuzz as fuzz_mod
+from repro.scenarios.fuzz import (
+    REPRO_VERSION,
+    archive,
+    archive_path,
+    fuzz,
+    main,
+    replay,
+    run_cell,
+)
+from repro.scenarios.scenario import make_preset
+
+
+def preset_cell(name="delay_attack", **overrides):
+    return {
+        "scenario": make_preset(name, **overrides).to_dict(),
+        "label": "hca/4/skampi_offset/4",
+        "num_nodes": 4,
+        "ranks_per_node": 1,
+        "rounds": 1,
+        "seed": 0,
+    }
+
+
+class TestRunCell:
+    def test_runs_a_preset_cell(self):
+        result = run_cell(preset_cell())
+        assert result.scenario == "delay_attack"
+        assert result.violations == []
+        assert result.degradation > 1.0
+
+    def test_invariant_violation_folds_into_result(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise InvariantViolation("clock ran backwards")
+
+        monkeypatch.setattr(fuzz_mod, "run_scenario_cell", boom)
+        result = run_cell(preset_cell())
+        assert result.violations == ["invariant:clock ran backwards"]
+        assert result.scenario == "delay_attack"
+
+
+class TestArchive:
+    def test_content_addressed_and_stable(self, tmp_path):
+        cell = preset_cell()
+        path_a = archive_path(str(tmp_path), cell)
+        path_b = archive_path(str(tmp_path), dict(cell))
+        assert path_a == path_b
+        assert path_a != archive_path(
+            str(tmp_path), preset_cell(extra_delay=1.0)
+        )
+
+    def test_written_file_is_replay_ready(self, tmp_path):
+        cell = preset_cell()
+        path = archive(str(tmp_path), cell, ["error_budget:x"])
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert data["repro_version"] == REPRO_VERSION
+        assert data["cell"] == cell
+        assert data["violations"] == ["error_budget:x"]
+
+
+class TestReplay:
+    def test_version_mismatch_refused(self, tmp_path, capsys):
+        path = tmp_path / "repro_old.json"
+        path.write_text(json.dumps({"repro_version": 0, "cell": {}}))
+        assert replay(str(path)) == 2
+        assert "unsupported repro_version" in capsys.readouterr().err
+
+    def test_clean_cell_does_not_reproduce(self, tmp_path, capsys):
+        # Archive a violation the cell never actually produces.
+        path = archive(str(tmp_path), preset_cell(), ["error_budget:fake"])
+        assert replay(path) == 0
+        assert "did NOT reproduce" in capsys.readouterr().out
+
+
+class TestFuzzEndToEnd:
+    def test_hostile_fuzz_archives_and_replays(self, tmp_path, capsys):
+        """The full loop: hostile mode finds a violation within a tiny
+        budget, shrinks it, archives a repro file, and replaying that
+        file reproduces the identical violations deterministically."""
+        out = tmp_path / "repros"
+        assert fuzz(budget=8, seed=0, out_dir=str(out), hostile=True) == 1
+        stdout = capsys.readouterr().out
+        assert "shrunk repro archived" in stdout
+        repros = sorted(out.glob("repro_*.json"))
+        assert len(repros) == 1
+        data = json.loads(repros[0].read_text())
+        assert data["violations"]
+        assert replay(str(repros[0])) == 1
+        assert "violation reproduced" in capsys.readouterr().out
+
+    def test_friendly_fuzz_passes(self, tmp_path, capsys):
+        out = tmp_path / "repros"
+        assert fuzz(budget=6, seed=3, out_dir=str(out), hostile=False) == 0
+        assert "no violations" in capsys.readouterr().out
+        assert not out.exists()
+
+    def test_cli_replay_round_trip(self, tmp_path):
+        out = tmp_path / "repros"
+        assert main([
+            "--budget", "8", "--seed", "0", "--hostile",
+            "--out", str(out),
+        ]) == 1
+        repro = sorted(out.glob("repro_*.json"))[0]
+        assert main(["--replay", str(repro)]) == 1
+
+
+@pytest.mark.parametrize("flag", ["--budget", "--seed", "--out",
+                                  "--hostile", "--no-check", "--replay"])
+def test_parser_knows_flag(flag):
+    from repro.scenarios.fuzz import build_parser
+
+    text = build_parser().format_help()
+    assert flag in text
